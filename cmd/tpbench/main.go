@@ -1,0 +1,166 @@
+// Command tpbench regenerates the tables and figures of "Time
+// Protection: The Missing OS Abstraction" (EuroSys'19) on the simulated
+// platforms.
+//
+// Usage:
+//
+//	tpbench -all                      # every table and figure, both platforms
+//	tpbench -table 3 -platform sabre  # one table, one platform
+//	tpbench -figure 4                 # one figure
+//	tpbench -ablations                # the DESIGN.md ablation study
+//
+// Scaled quantities (time slices, sample counts, working sets) are
+// documented in EXPERIMENTS.md; shapes, orderings and mitigation
+// efficacy correspond to the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"timeprotection/internal/experiments"
+	"timeprotection/internal/hw"
+)
+
+func main() {
+	var (
+		table      = flag.Int("table", 0, "regenerate one table (1-8)")
+		figure     = flag.Int("figure", 0, "regenerate one figure (3-7)")
+		all        = flag.Bool("all", false, "regenerate everything")
+		ablations  = flag.Bool("ablations", false, "run the design-decision ablations")
+		extensions = flag.Bool("extensions", false, "run the beyond-the-paper studies (interconnect, CAT, SMT, fuzzy time)")
+		check      = flag.Bool("check", false, "regression gate: verify every security verdict, exit nonzero on failure")
+		platform   = flag.String("platform", "both", "haswell, sabre or both")
+		samples    = flag.Int("samples", 150, "samples per channel measurement")
+		blocks     = flag.Int("blocks", 0, "Splash-2 work blocks (0 = benchmark default)")
+		seed       = flag.Int64("seed", 42, "deterministic seed")
+	)
+	flag.Parse()
+
+	var plats []hw.Platform
+	switch *platform {
+	case "both":
+		plats = []hw.Platform{hw.Haswell(), hw.Sabre()}
+	default:
+		p, ok := hw.PlatformByName(*platform)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown platform %q (haswell|sabre|both)\n", *platform)
+			os.Exit(2)
+		}
+		plats = []hw.Platform{p}
+	}
+
+	ran := false
+	if *all || *table == 1 {
+		fmt.Println(experiments.Table1())
+		ran = true
+	}
+	for _, plat := range plats {
+		cfg := experiments.Config{Platform: plat, Samples: *samples, SplashBlocks: *blocks, Seed: *seed}
+		run := func(sel bool, f func() error) {
+			if !sel {
+				return
+			}
+			ran = true
+			if err := f(); err != nil {
+				fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		show := func(render func() (string, error)) func() error {
+			return func() error {
+				s, err := render()
+				if err != nil {
+					return err
+				}
+				fmt.Println(s)
+				return nil
+			}
+		}
+
+		run(*all || *table == 2, show(func() (string, error) {
+			r, err := experiments.Table2(cfg)
+			return r.Render(), err
+		}))
+		run(*all || *figure == 3, show(func() (string, error) {
+			r, err := experiments.Figure3(cfg)
+			return r.Render(), err
+		}))
+		run(*all || *table == 3, show(func() (string, error) {
+			r, err := experiments.Table3(cfg)
+			return r.Render(), err
+		}))
+		run((*all || *figure == 4) && plat.Arch == "x86", show(func() (string, error) {
+			r, err := experiments.Figure4(cfg)
+			return r.Render(), err
+		}))
+		run(*all || *figure == 5 || *table == 4, show(func() (string, error) {
+			r, err := experiments.Table4(cfg)
+			return r.Render(), err
+		}))
+		run((*all || *figure == 6) && plat.Arch == "x86", show(func() (string, error) {
+			r, err := experiments.Figure6(cfg)
+			return r.Render(), err
+		}))
+		run(*all || *table == 5, show(func() (string, error) {
+			r, err := experiments.Table5(cfg)
+			return r.Render(), err
+		}))
+		run(*all || *table == 6, show(func() (string, error) {
+			r, err := experiments.Table6(cfg)
+			return r.Render(), err
+		}))
+		run(*all || *table == 7, show(func() (string, error) {
+			r, err := experiments.Table7(cfg)
+			return r.Render(), err
+		}))
+		run(*all || *figure == 7, show(func() (string, error) {
+			r, err := experiments.Figure7(cfg)
+			return r.Render(), err
+		}))
+		run(*all || *table == 8, show(func() (string, error) {
+			r, err := experiments.Table8(cfg)
+			return r.Render(), err
+		}))
+		run(*ablations, show(func() (string, error) {
+			r, err := experiments.Ablations(cfg)
+			return r.Render(), err
+		}))
+		run(*extensions, show(func() (string, error) {
+			r, err := experiments.Interconnect(cfg)
+			return r.Render(), err
+		}))
+		run(*extensions && plat.Arch == "x86", show(func() (string, error) {
+			r, err := experiments.CAT(cfg)
+			return r.Render(), err
+		}))
+		run(*extensions && plat.Arch == "x86", show(func() (string, error) {
+			r, err := experiments.SMT(cfg)
+			return r.Render(), err
+		}))
+		run(*extensions, show(func() (string, error) {
+			r, err := experiments.FuzzyTime(cfg)
+			return r.Render(), err
+		}))
+		if *check {
+			ran = true
+			checks, err := experiments.Checks(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+				os.Exit(1)
+			}
+			rendered, ok := experiments.RenderChecks(checks)
+			fmt.Printf("Security verdicts, %s:\n%s", plat.Name, rendered)
+			if !ok {
+				fmt.Println("CHECK FAILED")
+				os.Exit(1)
+			}
+			fmt.Println("all verdicts hold")
+		}
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,81 @@
+// Confinement (paper §3.1.1): a Trojan is confined to its own security
+// domain, connected to the rest of the system only by an explicit IPC
+// endpoint. The demo shows that
+//
+//  1. the overt IPC channel keeps working under time protection, and
+//  2. the covert kernel channel the Trojan would use to exfiltrate
+//     (modulating which system calls it makes, observed by a spy through
+//     the kernel's cache footprint) is closed by kernel cloning.
+//
+// Run: go run ./examples/confinement
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"timeprotection/internal/channel"
+	"timeprotection/internal/core"
+	"timeprotection/internal/hw"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/mi"
+)
+
+func main() {
+	plat := hw.Haswell()
+
+	// Part 1: overt communication still works in a partitioned system.
+	sys, err := core.NewSystem(core.Options{
+		Platform: plat,
+		Scenario: kernel.ScenarioProtected,
+		Domains:  2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cSlot, sSlot, err := sys.NewEndpointPair(0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	requests, replies := 0, 0
+	started := false
+	server := kernel.ProgramFunc(func(e *kernel.Env) bool {
+		if !started {
+			started = true
+			e.Recv(sSlot)
+			return true
+		}
+		replies++
+		e.ReplyRecv(sSlot)
+		return true
+	})
+	trojan := kernel.ProgramFunc(func(e *kernel.Env) bool {
+		if requests >= 8 {
+			return false
+		}
+		requests++
+		e.Call(cSlot)
+		return true
+	})
+	if _, err := sys.Spawn(1, "service", 20, server); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := sys.Spawn(0, "trojan", 10, trojan); err != nil {
+		log.Fatal(err)
+	}
+	sys.RunCoreFor(0, 40*sys.Timeslice())
+	fmt.Printf("overt IPC channel under time protection: %d requests, %d replies served\n", requests, replies)
+
+	// Part 2: the covert channel through the shared kernel is closed.
+	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioProtected} {
+		ds, err := channel.RunKernelChannel(channel.Spec{Platform: plat, Scenario: sc, Samples: 150})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := mi.Analyze(ds, rand.New(rand.NewSource(1)))
+		fmt.Printf("covert kernel channel, %-10s: %v\n", sc, r)
+	}
+	fmt.Println("\nConfinement holds: the Trojan can talk through its authorised")
+	fmt.Println("endpoint but no longer through the kernel's cache footprint.")
+}

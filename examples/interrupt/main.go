@@ -1,0 +1,50 @@
+// Interrupt partitioning (paper §5.3.5): a trojan programs a timer to
+// fire a secret-dependent fraction into the spy's time slice; the spy
+// senses the interruption as a gap in its own progress. Kernel_SetInt
+// binds the interrupt line to the trojan's kernel image, so delivery is
+// deferred to the trojan's own slices and the channel closes.
+//
+// Run: go run ./examples/interrupt
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"timeprotection/internal/channel"
+	"timeprotection/internal/hw"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/mi"
+)
+
+func main() {
+	plat := hw.Haswell()
+	spec := channel.Spec{Platform: plat, Scenario: kernel.ScenarioProtected, Samples: 150}
+
+	for _, partitioned := range []bool{false, true} {
+		ds, err := channel.RunInterruptChannel(spec, partitioned)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := mi.Analyze(ds, rand.New(rand.NewSource(1)))
+		label := "IRQ unpartitioned     "
+		if partitioned {
+			label = "IRQ bound to its image"
+		}
+		fmt.Printf("%s: %v\n", label, r)
+		if !partitioned {
+			fmt.Println("  spy's first-online time by trojan timer setting:")
+			for _, in := range ds.Inputs() {
+				outs := ds.OutputsFor(in)
+				sum := 0.0
+				for _, o := range outs {
+					sum += o
+				}
+				fmt.Printf("    timer at %d%% of slice -> %.0f cycles\n", 30+10*in, sum/float64(len(outs)))
+			}
+		}
+	}
+	fmt.Println("\nKernel_SetInt defers foreign-domain interrupts to their own slices,")
+	fmt.Println("so the spy's time slice is never split (Requirement 5).")
+}

@@ -1,0 +1,47 @@
+// Quickstart: partition a simulated machine into two security domains
+// with time protection and watch a cache covert channel close.
+//
+// The sender encodes a secret-dependent footprint in the L1-D cache;
+// the receiver measures its own probe latency. Without time protection
+// the mutual information between them is large; with cloned, coloured
+// kernels and on-core flushing it drops below the zero-leakage bound.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"timeprotection/internal/channel"
+	"timeprotection/internal/hw"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/mi"
+)
+
+func main() {
+	plat := hw.Haswell()
+	fmt.Printf("platform: %s (%d page colours)\n\n", plat.Name, plat.Colours())
+
+	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioProtected} {
+		ds, err := channel.RunIntraCore(channel.Spec{
+			Platform: plat,
+			Scenario: sc,
+			Samples:  150,
+		}, channel.L1D)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := mi.Analyze(ds, rand.New(rand.NewSource(1)))
+		fmt.Printf("L1-D covert channel, %-10s: %v\n", sc, r)
+		if r.Leak() {
+			fmt.Println("  -> the sender's cache footprint is visible to the receiver")
+		} else {
+			fmt.Println("  -> the observations are consistent with zero leakage")
+		}
+	}
+
+	fmt.Println("\nTime protection = cloned per-domain kernels + page colouring +")
+	fmt.Println("on-core state flushing + deterministic shared-data access + padding.")
+}

@@ -1,0 +1,3 @@
+module timeprotection
+
+go 1.22

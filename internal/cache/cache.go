@@ -1,0 +1,400 @@
+// Package cache models the microarchitectural state that gives rise to
+// timing channels: set-associative caches, TLBs, branch predictors and
+// prefetchers, plus a multi-level hierarchy combining them.
+//
+// The model is cycle-approximate and fully deterministic: every lookup
+// is an explicit function call, there is no concurrency, and replacement
+// is strict LRU. Timing channels in this model arise for the same
+// structural reason as on silicon — competition for finite, set-indexed
+// state — which is the property the Time Protection paper's experiments
+// depend on.
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	Name       string // e.g. "L1-D"
+	Size       int    // total bytes, power of two
+	Ways       int    // associativity, power of two
+	LineSize   int    // bytes per line, power of two
+	HitLatency int    // cycles charged when the access hits at this level
+	Virtual    bool   // indexed by virtual address (L1 on most parts)
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int {
+	if c.Size == 0 {
+		return 0
+	}
+	return c.Size / (c.Ways * c.LineSize)
+}
+
+// Colours returns the number of page colours of a physically indexed
+// cache for the given page size: Size / (Ways * PageSize), clamped to a
+// minimum of one (small caches have a single colour and cannot be
+// partitioned by the OS).
+func (c Config) Colours(pageSize int) int {
+	n := c.Size / (c.Ways * pageSize)
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+type line struct {
+	tag   uint64
+	stamp uint64
+	valid bool
+	dirty bool
+}
+
+// Stats accumulates access statistics for one cache.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+	Flushes    uint64
+}
+
+// Eviction describes a line displaced by a fill.
+type Eviction struct {
+	Tag   uint64 // full line address (line-aligned) reconstructed from tag
+	Valid bool
+	Dirty bool
+}
+
+// Cache is a single set-associative, write-back, write-allocate cache
+// with LRU replacement. Lines are identified by a full line-address tag,
+// so the same structure serves physically and virtually indexed levels
+// (the caller chooses which address forms the index).
+type Cache struct {
+	cfg      Config
+	sets     int
+	lineBits uint
+	setMask  uint64
+	lines    []line // sets*ways, row-major by set
+	tick     uint64
+	pinMask  uint64 // Arm lockdown: ways excluded from normal fills
+	Stats    Stats
+}
+
+// New builds a cache from cfg. It panics on a non-power-of-two geometry,
+// which would silently break set indexing.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: set count %d not a positive power of two", cfg.Name, sets))
+	}
+	if cfg.LineSize&(cfg.LineSize-1) != 0 {
+		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(sets - 1),
+		lines:   make([]line, sets*cfg.Ways),
+	}
+	for c.cfg.LineSize>>c.lineBits > 1 {
+		c.lineBits++
+	}
+	return c
+}
+
+// Config returns the geometry the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return c.cfg.LineSize }
+
+// SetOf returns the set index selected by addr.
+func (c *Cache) SetOf(addr uint64) int {
+	return int((addr >> c.lineBits) & c.setMask)
+}
+
+// lineAddr truncates addr to line granularity.
+func (c *Cache) lineAddr(addr uint64) uint64 {
+	return addr >> c.lineBits << c.lineBits
+}
+
+// AllWays is the way mask admitting every way (no partitioning).
+const AllWays = ^uint64(0)
+
+// PinWays reserves the masked ways from normal replacement — the Arm
+// L1 lockdown feature (§2.3) that StealthMem-style designs use to hold
+// secrets in "safe" on-chip memory: content placed there with FillPinned
+// cannot be evicted by an adversary's conflicting accesses. Note that
+// explicit flushes (Flush, FlushMatching) still clear pinned lines, as
+// the hardware's set/way maintenance operations do.
+func (c *Cache) PinWays(mask uint64) {
+	// Keep at least one way available for normal fills.
+	full := uint64(1)<<uint(c.cfg.Ways) - 1
+	if mask&full == full {
+		mask &= full >> 1
+	}
+	c.pinMask = mask & full
+}
+
+// PinnedWays returns the current lockdown mask.
+func (c *Cache) PinnedWays() uint64 { return c.pinMask }
+
+// normalMask is the way mask ordinary fills may allocate into.
+func (c *Cache) normalMask() uint64 {
+	if c.pinMask == 0 {
+		return AllWays
+	}
+	return ^c.pinMask
+}
+
+// FillPinned installs a line into the locked-down ways, where normal
+// traffic cannot displace it.
+func (c *Cache) FillPinned(indexAddr, tagAddr uint64) Eviction {
+	if c.pinMask == 0 {
+		return Eviction{}
+	}
+	return c.FillMasked(indexAddr, tagAddr, false, c.pinMask)
+}
+
+// Access performs a load or store. indexAddr selects the set (virtual
+// address for virtually indexed caches, physical otherwise); tagAddr is
+// the physical line address used as the tag, so aliasing behaves like a
+// VIPT cache. It returns whether the access hit and, on a miss, the line
+// evicted by the fill.
+func (c *Cache) Access(indexAddr, tagAddr uint64, write bool) (hit bool, ev Eviction) {
+	return c.AccessMasked(indexAddr, tagAddr, write, c.normalMask())
+}
+
+// AccessMasked is Access under a CAT-style way mask: hits are honoured
+// in any way (Intel CAT restricts allocation, not lookup), but the fill
+// victim is chosen only among ways whose mask bit is set. This is the
+// way-based LLC partitioning of §2.3 (CATalyst).
+func (c *Cache) AccessMasked(indexAddr, tagAddr uint64, write bool, wayMask uint64) (hit bool, ev Eviction) {
+	c.tick++
+	set := c.SetOf(indexAddr)
+	tag := c.lineAddr(tagAddr)
+	base := set * c.cfg.Ways
+	victim := -1
+	var victimStamp uint64 = ^uint64(0)
+	for i := base; i < base+c.cfg.Ways; i++ {
+		l := &c.lines[i]
+		if l.valid && l.tag == tag {
+			l.stamp = c.tick
+			if write {
+				l.dirty = true
+			}
+			c.Stats.Hits++
+			return true, Eviction{}
+		}
+		if wayMask&(1<<uint(i-base)) == 0 {
+			continue
+		}
+		if !l.valid {
+			if victimStamp != 0 {
+				victim = i
+				victimStamp = 0
+			}
+		} else if l.stamp < victimStamp {
+			victim = i
+			victimStamp = l.stamp
+		}
+	}
+	c.Stats.Misses++
+	if victim < 0 {
+		// Degenerate empty mask: the line is not cached at all.
+		return false, Eviction{}
+	}
+	v := &c.lines[victim]
+	if v.valid {
+		ev = Eviction{Tag: v.tag, Valid: true, Dirty: v.dirty}
+		if v.dirty {
+			c.Stats.Writebacks++
+		}
+	}
+	*v = line{tag: tag, stamp: c.tick, valid: true, dirty: write}
+	return false, ev
+}
+
+// Fill inserts a line without counting a demand access (used by
+// prefetchers and by write-backs allocating into a lower level).
+func (c *Cache) Fill(indexAddr, tagAddr uint64, dirty bool) (ev Eviction) {
+	return c.FillMasked(indexAddr, tagAddr, dirty, c.normalMask())
+}
+
+// FillMasked is Fill under a CAT-style way mask.
+func (c *Cache) FillMasked(indexAddr, tagAddr uint64, dirty bool, wayMask uint64) (ev Eviction) {
+	c.tick++
+	set := c.SetOf(indexAddr)
+	tag := c.lineAddr(tagAddr)
+	base := set * c.cfg.Ways
+	victim := -1
+	var victimStamp uint64 = ^uint64(0)
+	for i := base; i < base+c.cfg.Ways; i++ {
+		l := &c.lines[i]
+		if l.valid && l.tag == tag {
+			l.stamp = c.tick
+			if dirty {
+				l.dirty = true
+			}
+			return Eviction{}
+		}
+		if wayMask&(1<<uint(i-base)) == 0 {
+			continue
+		}
+		if !l.valid {
+			if victimStamp != 0 {
+				victim = i
+				victimStamp = 0
+			}
+		} else if l.stamp < victimStamp {
+			victim = i
+			victimStamp = l.stamp
+		}
+	}
+	if victim < 0 {
+		return Eviction{}
+	}
+	v := &c.lines[victim]
+	if v.valid {
+		ev = Eviction{Tag: v.tag, Valid: true, Dirty: v.dirty}
+		if v.dirty {
+			c.Stats.Writebacks++
+		}
+	}
+	*v = line{tag: tag, stamp: c.tick, valid: true, dirty: dirty}
+	return ev
+}
+
+// Contains reports whether the line addressed by (indexAddr, tagAddr)
+// is resident, without perturbing LRU state. Intended for tests and
+// assertions.
+func (c *Cache) Contains(indexAddr, tagAddr uint64) bool {
+	set := c.SetOf(indexAddr)
+	tag := c.lineAddr(tagAddr)
+	base := set * c.cfg.Ways
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidLines returns the number of valid lines (tests, occupancy checks).
+func (c *Cache) ValidLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// DirtyLines returns the number of dirty lines currently resident. The
+// flush cost of a write-back cache is a function of this value, which is
+// precisely what the cache-flush channel (paper §5.3.4) modulates.
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].valid && c.lines[i].dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// SetOccupancy returns the number of valid lines in one set.
+func (c *Cache) SetOccupancy(set int) int {
+	n := 0
+	base := set * c.cfg.Ways
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.lines[i].valid {
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates the whole cache, returning the number of lines that
+// were valid and how many of those were dirty (and thus written back).
+func (c *Cache) Flush() (valid, dirty int) {
+	for i := range c.lines {
+		if c.lines[i].valid {
+			valid++
+			if c.lines[i].dirty {
+				dirty++
+				c.Stats.Writebacks++
+			}
+		}
+		c.lines[i] = line{}
+	}
+	c.Stats.Flushes++
+	return valid, dirty
+}
+
+// pageSize is the system page size, used to derive which index bits of a
+// virtually indexed cache are physical (page-offset) bits.
+const pageSize = 4096
+
+// InvalidateTag removes the line with the given physical tag, returning
+// whether it was present. For virtually indexed caches larger than
+// page-size-per-way, every alias set is searched (the index bits above
+// the page offset are unknown to a physical back-invalidation). This is
+// the mechanism behind an inclusive LLC: evicting a line there must
+// evict it from the private levels too.
+func (c *Cache) InvalidateTag(tagAddr uint64) bool {
+	tag := c.lineAddr(tagAddr)
+	aliases := 1
+	if c.cfg.Virtual {
+		if span := c.sets * c.cfg.LineSize; span > pageSize {
+			aliases = span / pageSize
+		}
+	}
+	setsPerPage := c.sets / aliases
+	baseSet := c.SetOf(tagAddr) % setsPerPage
+	found := false
+	for a := 0; a < aliases; a++ {
+		set := baseSet + a*setsPerPage
+		base := set * c.cfg.Ways
+		for i := base; i < base+c.cfg.Ways; i++ {
+			if c.lines[i].valid && c.lines[i].tag == tag {
+				c.lines[i] = line{}
+				found = true
+			}
+		}
+	}
+	return found
+}
+
+// VisitLines calls fn for every valid line (inspection tooling). The
+// callback must not mutate the cache.
+func (c *Cache) VisitLines(fn func(tag uint64, dirty bool)) {
+	for i := range c.lines {
+		if c.lines[i].valid {
+			fn(c.lines[i].tag, c.lines[i].dirty)
+		}
+	}
+}
+
+// FlushMatching invalidates all lines whose tag satisfies keep==false
+// under the provided predicate, returning valid/dirty counts of the
+// flushed lines. Used for selective invalidation in tests.
+func (c *Cache) FlushMatching(drop func(tag uint64) bool) (valid, dirty int) {
+	for i := range c.lines {
+		if c.lines[i].valid && drop(c.lines[i].tag) {
+			valid++
+			if c.lines[i].dirty {
+				dirty++
+				c.Stats.Writebacks++
+			}
+			c.lines[i] = line{}
+		}
+	}
+	return valid, dirty
+}

@@ -1,0 +1,81 @@
+package cache
+
+import "testing"
+
+func TestPinWaysProtectsFromThrash(t *testing.T) {
+	c := New(testConfig()) // 16 sets, 4 ways
+	c.PinWays(0b0011)      // lock ways 0-1
+	// Place a "key" in the pinned ways.
+	key := uint64(0x40)
+	c.FillPinned(key, key)
+	// An adversary thrashes the whole cache many times over.
+	for round := 0; round < 4; round++ {
+		for a := uint64(0x100000); a < 0x100000+64*1024; a += 64 {
+			c.Access(a, a, true)
+		}
+	}
+	if !c.Contains(key, key) {
+		t.Fatal("pinned line evicted by conflicting traffic (lockdown broken)")
+	}
+}
+
+func TestPinWaysReducesNormalCapacity(t *testing.T) {
+	c := New(testConfig())
+	c.PinWays(0b0011)
+	stride := uint64(c.Sets() * 64)
+	// Only 2 ways remain for normal fills: the third conflicting line
+	// evicts the first.
+	c.Access(0, 0, false)
+	c.Access(stride, stride, false)
+	c.Access(2*stride, 2*stride, false)
+	if c.Contains(0, 0) {
+		t.Fatal("normal fill used a pinned way")
+	}
+}
+
+func TestPinnedLinesStillHit(t *testing.T) {
+	c := New(testConfig())
+	c.PinWays(0b0001)
+	key := uint64(0x80)
+	c.FillPinned(key, key)
+	hit, _ := c.Access(key, key, false)
+	if !hit {
+		t.Fatal("lookup must still see pinned lines")
+	}
+}
+
+func TestPinWaysCannotLockEverything(t *testing.T) {
+	c := New(testConfig())
+	c.PinWays(AllWays)
+	if c.PinnedWays() == uint64(1)<<uint(c.Ways())-1 {
+		t.Fatal("locking every way must be clamped (the core would deadlock)")
+	}
+	// Normal traffic still has somewhere to go.
+	c.Access(0x40, 0x40, false)
+	if !c.Contains(0x40, 0x40) {
+		t.Fatal("normal fill failed with clamped lockdown")
+	}
+}
+
+func TestExplicitFlushClearsPinned(t *testing.T) {
+	// The hardware caveat: set/way flush operations ignore lockdown, so
+	// the domain-switch flush wipes "safe" memory too — one reason such
+	// application-managed defences are no substitute for mandatory
+	// enforcement (§2.3).
+	c := New(testConfig())
+	c.PinWays(0b0001)
+	key := uint64(0xC0)
+	c.FillPinned(key, key)
+	c.Flush()
+	if c.Contains(key, key) {
+		t.Fatal("explicit flush must clear pinned lines")
+	}
+}
+
+func TestFillPinnedWithoutLockdownIsNoop(t *testing.T) {
+	c := New(testConfig())
+	c.FillPinned(0x40, 0x40)
+	if c.Contains(0x40, 0x40) {
+		t.Fatal("FillPinned without a lockdown mask should install nothing")
+	}
+}

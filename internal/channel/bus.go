@@ -1,0 +1,145 @@
+package channel
+
+import (
+	"math/rand"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/memory"
+	"timeprotection/internal/mi"
+)
+
+// busSender modulates its memory-bandwidth consumption: for each slot it
+// draws a symbol and issues a proportional number of DRAM accesses
+// (paper §2.2: "the sender encodes information into its bandwidth
+// consumption").
+type busSender struct {
+	lines      []uint64
+	slotCycles uint64
+	rng        *rand.Rand
+	symbols    int
+
+	current   int
+	slotStart uint64
+	started   bool
+	pos       int
+}
+
+func (s *busSender) Current() int { return s.current }
+
+func (s *busSender) Step(e *kernel.Env) bool {
+	now := e.Now()
+	if !s.started || now-s.slotStart >= s.slotCycles {
+		s.started = true
+		s.slotStart = now
+		s.current = s.rng.Intn(s.symbols)
+	}
+	// Intensity proportional to the symbol: 0..symbols-1 bursts of
+	// cache-defeating (streaming) accesses.
+	n := 16 * s.current
+	for i := 0; i < n; i++ {
+		e.Load(s.lines[s.pos%len(s.lines)])
+		s.pos++
+	}
+	e.Spin(2000)
+	return true
+}
+
+// busReceiver senses available bandwidth: it times a fixed burst of its
+// own DRAM accesses each step.
+type busReceiver struct {
+	lines  []uint64
+	sender *busSender
+	ds     *mi.Dataset
+	target int
+	pos    int
+	warmup int
+}
+
+func (r *busReceiver) Done() bool { return r.ds.N() >= r.target }
+
+func (r *busReceiver) Step(e *kernel.Env) bool {
+	t0 := e.Now()
+	for i := 0; i < 48; i++ {
+		e.Load(r.lines[r.pos%len(r.lines)])
+		r.pos++
+	}
+	elapsed := float64(e.Now() - t0)
+	if r.warmup > 0 {
+		r.warmup--
+	} else if !r.Done() {
+		r.ds.Add(r.sender.Current(), elapsed)
+	}
+	e.Spin(1500)
+	return true
+}
+
+// RunBusChannel runs the cross-core interconnect covert channel of
+// §2.2: sender and receiver execute *concurrently* on different cores
+// and communicate purely through memory-bandwidth contention. Time
+// protection cannot close this channel — there is no state to flush or
+// colour — which is exactly why the paper's threat model must exclude
+// concurrent covert channels until hardware supports bandwidth
+// partitioning. With mba=true an Intel-MBA-style approximate per-core
+// throttle is enabled; its lagging enforcement still leaks (§2.3).
+func RunBusChannel(s Spec, mba bool) (*mi.Dataset, error) {
+	s = s.withDefaults()
+	sys, err := buildSystem(s)
+	if err != nil {
+		return nil, err
+	}
+	// The interconnect: 8 DRAM slots per 1000-cycle window.
+	bus := hw.NewMemoryBus(1000, 4, 80)
+	if mba {
+		bus.SetMBA(2, 150)
+	}
+	sys.K.M.AttachBus(bus)
+
+	// Streaming buffers far larger than any cache share, so every access
+	// reaches DRAM. Strided to defeat the prefetcher.
+	mkLines := func(dom int, base uint64, pages int) ([]uint64, error) {
+		buf, err := NewProbeBuffer(sys, dom, base, pages)
+		if err != nil {
+			return nil, err
+		}
+		all := buf.AllLines()
+		var out []uint64
+		for i := 0; i < len(all); i += 5 {
+			out = append(out, all[i])
+		}
+		return out, nil
+	}
+	llc := sys.K.M.Hier.LLC()
+	pages := 2 * llc.Sets() * llc.LineSize() * llc.Ways() / memory.PageSize
+	if pages > sys.K.M.Plat.RAMFrames/4 {
+		pages = sys.K.M.Plat.RAMFrames / 4
+	}
+	sLines, err := mkLines(0, senderBufBase, pages)
+	if err != nil {
+		return nil, err
+	}
+	rLines, err := mkLines(1, receiverBufBase, pages)
+	if err != nil {
+		return nil, err
+	}
+	sender := &busSender{
+		lines:      sLines,
+		slotCycles: sys.Timeslice() / 4,
+		rng:        rand.New(rand.NewSource(s.Seed)),
+		symbols:    4,
+	}
+	// The streaming receiver's caches drift toward steady state over many
+	// bursts; discard generously or the drift correlates with the
+	// sender's slot structure and inflates the estimate.
+	recv := &busReceiver{lines: rLines, sender: sender, ds: &mi.Dataset{}, target: s.Samples, warmup: 64}
+	if _, err := sys.Spawn(0, "bus-sender", 10, sender); err != nil {
+		return nil, err
+	}
+	if _, err := sys.Spawn(1, "bus-receiver", 10, recv); err != nil {
+		return nil, err
+	}
+	for i := 0; i < s.Samples*4+400 && !recv.Done(); i++ {
+		sys.RunCoresFor([]int{0, 1}, sys.Timeslice())
+	}
+	return recv.ds, nil
+}

@@ -1,0 +1,358 @@
+package channel
+
+import (
+	"math/rand"
+	"testing"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/mi"
+)
+
+// analyze is a test helper with a fixed shuffle seed.
+func analyze(t *testing.T, ds *mi.Dataset) mi.Result {
+	t.Helper()
+	if ds.N() == 0 {
+		t.Fatal("empty dataset")
+	}
+	return mi.Analyze(ds, rand.New(rand.NewSource(7)))
+}
+
+func spec(plat hw.Platform, sc kernel.Scenario) Spec {
+	return Spec{Platform: plat, Scenario: sc, Samples: 100, TimesliceMicros: 50}
+}
+
+func TestResourcesList(t *testing.T) {
+	x := Resources(hw.Haswell())
+	if len(x) != 6 || x[len(x)-1] != L2 {
+		t.Fatalf("Haswell resources = %v", x)
+	}
+	a := Resources(hw.Sabre())
+	if len(a) != 5 {
+		t.Fatalf("Sabre resources = %v (its L2 is the LLC, no private-L2 row)", a)
+	}
+}
+
+// Table 3, raw column: every intra-core resource leaks without
+// mitigation, on both platforms.
+func TestIntraCoreRawLeaks(t *testing.T) {
+	for _, plat := range []hw.Platform{hw.Haswell(), hw.Sabre()} {
+		for _, res := range Resources(plat) {
+			ds, err := RunIntraCore(spec(plat, kernel.ScenarioRaw), res)
+			if err != nil {
+				t.Fatalf("%s %v: %v", plat.Arch, res, err)
+			}
+			r := analyze(t, ds)
+			if !r.Leak() {
+				t.Errorf("%s %v raw: no leak detected (%v)", plat.Arch, res, r)
+			}
+			if r.M < 0.1 {
+				t.Errorf("%s %v raw: M=%.3f b implausibly small", plat.Arch, res, r.M)
+			}
+		}
+	}
+}
+
+// Table 3, full flush column: the maximal architected reset closes every
+// intra-core channel.
+func TestIntraCoreFullFlushCloses(t *testing.T) {
+	for _, plat := range []hw.Platform{hw.Haswell(), hw.Sabre()} {
+		for _, res := range Resources(plat) {
+			ds, err := RunIntraCore(spec(plat, kernel.ScenarioFullFlush), res)
+			if err != nil {
+				t.Fatalf("%s %v: %v", plat.Arch, res, err)
+			}
+			if r := analyze(t, ds); r.Leak() {
+				t.Errorf("%s %v full flush: leak %v", plat.Arch, res, r)
+			}
+		}
+	}
+}
+
+// Table 3, protected column: time protection closes everything except
+// the x86 L2, where the data prefetcher's hidden state leaks.
+func TestIntraCoreProtected(t *testing.T) {
+	for _, plat := range []hw.Platform{hw.Haswell(), hw.Sabre()} {
+		for _, res := range Resources(plat) {
+			ds, err := RunIntraCore(spec(plat, kernel.ScenarioProtected), res)
+			if err != nil {
+				t.Fatalf("%s %v: %v", plat.Arch, res, err)
+			}
+			r := analyze(t, ds)
+			isResidual := plat.Arch == "x86" && res == L2
+			if isResidual && !r.Leak() {
+				t.Errorf("x86 L2 protected: expected the prefetcher residual channel, got %v", r)
+			}
+			if !isResidual && r.Leak() {
+				t.Errorf("%s %v protected: leak %v", plat.Arch, res, r)
+			}
+		}
+	}
+}
+
+// §5.3.2: disabling the data prefetcher (MSR 0x1A4) closes the residual
+// x86 L2 channel.
+func TestL2ResidualClosedByPrefetcherDisable(t *testing.T) {
+	s := spec(hw.Haswell(), kernel.ScenarioProtected)
+	s.DisablePrefetcher = true
+	ds, err := RunIntraCore(s, L2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := analyze(t, ds); r.Leak() {
+		t.Errorf("x86 L2 protected + prefetcher off: leak %v", r)
+	}
+}
+
+// Figure 3: the shared-kernel syscall channel leaks raw and closes with
+// cloned kernels, on both platforms (§5.3.1).
+func TestKernelChannel(t *testing.T) {
+	for _, plat := range []hw.Platform{hw.Haswell(), hw.Sabre()} {
+		raw, err := RunKernelChannel(spec(plat, kernel.ScenarioRaw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := analyze(t, raw); !r.Leak() {
+			t.Errorf("%s kernel channel raw: no leak (%v)", plat.Arch, r)
+		}
+		prot, err := RunKernelChannel(spec(plat, kernel.ScenarioProtected))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := analyze(t, prot); r.Leak() {
+			t.Errorf("%s kernel channel protected: leak %v", plat.Arch, r)
+		}
+	}
+}
+
+// Figure 3's channel matrix: in the raw system, different syscalls give
+// visibly different miss distributions.
+func TestKernelChannelMatrixStructure(t *testing.T) {
+	ds, err := RunKernelChannel(spec(hw.Haswell(), kernel.ScenarioRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mi.Matrix(ds, 16)
+	if len(m.Inputs) != 4 {
+		t.Fatalf("matrix inputs = %d, want 4", len(m.Inputs))
+	}
+}
+
+// Table 4 / Figure 5: the cache-flush latency channel exists without
+// padding and closes with it, on both platforms.
+func TestFlushChannel(t *testing.T) {
+	for _, plat := range []hw.Platform{hw.Haswell(), hw.Sabre()} {
+		noPad, err := RunFlushChannel(spec(plat, kernel.ScenarioProtected))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := analyze(t, noPad.Offline); !r.Leak() {
+			t.Errorf("%s flush channel without padding: no leak (%v)", plat.Arch, r)
+		}
+		s := spec(plat, kernel.ScenarioProtected)
+		s.PadMicros = 60
+		padded, err := RunFlushChannel(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := analyze(t, padded.Offline); r.Leak() {
+			t.Errorf("%s flush channel with padding: leak %v", plat.Arch, r)
+		}
+		if r := analyze(t, padded.Online); r.Leak() {
+			t.Errorf("%s flush channel online with padding: leak %v", plat.Arch, r)
+		}
+	}
+}
+
+// Figure 6: the interrupt channel leaks when the trojan's timer line is
+// unpartitioned, and closes under Kernel_SetInt partitioning.
+func TestInterruptChannel(t *testing.T) {
+	open, err := RunInterruptChannel(spec(hw.Haswell(), kernel.ScenarioProtected), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := analyze(t, open); !r.Leak() {
+		t.Errorf("unpartitioned interrupt channel: no leak (%v)", r)
+	}
+	closed, err := RunInterruptChannel(spec(hw.Haswell(), kernel.ScenarioProtected), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := analyze(t, closed); r.Leak() {
+		t.Errorf("partitioned interrupt channel: leak %v", r)
+	}
+}
+
+// Figure 4: cross-core LLC side channel recovers the ElGamal key in the
+// raw system; colouring leaves the spy blind.
+func TestLLCSideChannel(t *testing.T) {
+	raw, err := RunLLCSideChannel(spec(hw.Haswell(), kernel.ScenarioRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw.EvictionWays == 0 {
+		t.Fatal("raw: spy failed to build an eviction set")
+	}
+	if raw.Accuracy < 0.95 {
+		t.Errorf("raw LLC attack key-recovery accuracy = %.2f, want >= 0.95", raw.Accuracy)
+	}
+	prot, err := RunLLCSideChannel(spec(hw.Haswell(), kernel.ScenarioProtected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot.ActiveSlots != 0 {
+		t.Errorf("protected: spy saw %d active slots, want 0", prot.ActiveSlots)
+	}
+	if len(prot.Recovered) != 0 {
+		t.Errorf("protected: spy recovered %d bits", len(prot.Recovered))
+	}
+}
+
+func TestProbeBufferLinesForSets(t *testing.T) {
+	s := spec(hw.Haswell(), kernel.ScenarioRaw)
+	sys, err := buildSystem(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := NewProbeBuffer(sys, 0, 0x5000_0000, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	llc := sys.K.M.Hier.LLC()
+	// Every returned line must map into the target sets (before padding).
+	targets := map[int]bool{}
+	for i := 0; i < 32; i++ {
+		targets[llc.SetOf(buf.PAddrOf(uint64(i)*64))] = true
+	}
+	lines := buf.LinesForSets(llc, targets, 0)
+	if len(lines) == 0 {
+		t.Fatal("no congruent lines found")
+	}
+	for _, v := range lines {
+		off := v - buf.Base
+		if !targets[llc.SetOf(buf.PAddrOf(off))] {
+			t.Fatalf("line %#x not congruent", v)
+		}
+	}
+	// Padding keeps the probe size constant.
+	padded := buf.LinesForSets(llc, map[int]bool{}, 64)
+	if len(padded) != 64 {
+		t.Fatalf("padded probe has %d lines, want 64", len(padded))
+	}
+}
+
+func TestRecoverBitsDegenerate(t *testing.T) {
+	if bits, _ := RecoverBits(nil, 1); bits != nil {
+		t.Error("empty trace must recover nothing")
+	}
+	// Uniform gaps: no bimodality, no bits.
+	var trace []Slot
+	for i := 0; i < 50; i++ {
+		trace = append(trace, Slot{Time: uint64(i) * 1000, Misses: 4})
+		trace = append(trace, Slot{Time: uint64(i)*1000 + 500, Misses: 0})
+	}
+	if bits, _ := RecoverBits(trace, 2); len(bits) != 0 {
+		t.Errorf("uniform gaps decoded %d bits, want none", len(bits))
+	}
+}
+
+func TestRecoverBitsBimodal(t *testing.T) {
+	var trace []Slot
+	now := uint64(0)
+	pattern := []bool{true, false, true, true, false}
+	for r := 0; r < 10; r++ {
+		for _, b := range pattern {
+			trace = append(trace, Slot{Time: now, Misses: 8})
+			step := uint64(1000)
+			if b {
+				step = 2000
+			}
+			for t := uint64(200); t < step; t += 200 {
+				trace = append(trace, Slot{Time: now + t, Misses: 0})
+			}
+			now += step
+		}
+	}
+	bits, active := RecoverBits(trace, 2)
+	if active != 50 {
+		t.Fatalf("active slots = %d, want 50", active)
+	}
+	if acc := bitAccuracy(pattern, bits); acc < 0.95 {
+		t.Fatalf("synthetic trace accuracy = %.2f", acc)
+	}
+}
+
+func TestBitAccuracyAlignment(t *testing.T) {
+	truth := []bool{true, false, false, true}
+	// Rotated recovery still matches perfectly.
+	rec := []bool{false, true, true, false, false}
+	if acc := bitAccuracy(truth, rec); acc < 0.99 {
+		t.Errorf("rotated accuracy = %.2f, want 1.0", acc)
+	}
+	if acc := bitAccuracy(truth, nil); acc != 0 {
+		t.Error("empty recovery must score 0")
+	}
+}
+
+func TestDeStrideProperties(t *testing.T) {
+	var lines []uint64
+	for i := uint64(0); i < 64; i++ {
+		lines = append(lines, 0x1000+i*64)
+	}
+	out := DeStride(lines, 64)
+	if len(out) != len(lines) {
+		t.Fatalf("DeStride changed the line count: %d vs %d", len(out), len(lines))
+	}
+	// No two consecutive outputs are adjacent lines (what stream
+	// detectors key on).
+	for i := 1; i < len(out); i++ {
+		d := int64(out[i]/64) - int64(out[i-1]/64)
+		if d == 1 || d == -1 {
+			t.Fatalf("adjacent lines at positions %d,%d", i-1, i)
+		}
+	}
+	// Same multiset.
+	seen := map[uint64]bool{}
+	for _, v := range out {
+		seen[v] = true
+	}
+	for _, v := range lines {
+		if !seen[v] {
+			t.Fatalf("line %#x lost by DeStride", v)
+		}
+	}
+}
+
+func TestProbeBufferPAddrColourDiscipline(t *testing.T) {
+	sys, err := buildSystem(spec(hw.Haswell(), kernel.ScenarioProtected))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := NewProbeBuffer(sys, 0, 0x5000_0000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own := map[int]bool{}
+	for _, c := range sys.Domains[0].Pool.Colours() {
+		own[c] = true
+	}
+	n := sys.K.M.Plat.Colours()
+	for off := uint64(0); off < 8*4096; off += 4096 {
+		pfn := buf.PAddrOf(off) >> 12
+		if !own[int(pfn)%n] {
+			t.Fatalf("probe buffer frame outside the domain's colours")
+		}
+	}
+}
+
+func TestKernelTextSetsCoverRanges(t *testing.T) {
+	sys, err := buildSystem(spec(hw.Haswell(), kernel.ScenarioRaw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := KernelTextSets(sys, sys.K.BootImage(), [][2]uint64{{0, 4096}})
+	// 4 KiB of 64 B lines in an 8192-set LLC: 64 distinct sets.
+	if len(sets) != 64 {
+		t.Fatalf("one page maps to %d LLC sets, want 64", len(sets))
+	}
+}

@@ -1,0 +1,358 @@
+package core
+
+import (
+	"testing"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/memory"
+)
+
+func TestNewSystemDefaults(t *testing.T) {
+	s, err := NewSystem(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Domains) != 2 {
+		t.Fatalf("default domains = %d, want 2", len(s.Domains))
+	}
+	if s.Opts.Platform.Name == "" {
+		t.Error("platform not defaulted")
+	}
+	if s.Timeslice() != s.Opts.Platform.MicrosToCycles(100) {
+		t.Error("timeslice not defaulted to 100 us")
+	}
+}
+
+func TestProtectedSystemIsPartitioned(t *testing.T) {
+	s, err := NewSystem(Options{Platform: hw.Haswell(), Scenario: kernel.ScenarioProtected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Domains[0].Image == s.Domains[1].Image {
+		t.Fatal("protected domains share a kernel image")
+	}
+	if s.Domains[0].Image == s.K.BootImage() {
+		t.Fatal("protected domain still on the boot image")
+	}
+	// Colour pools must be disjoint.
+	c0 := map[int]bool{}
+	for _, c := range s.Domains[0].Pool.Colours() {
+		c0[c] = true
+	}
+	for _, c := range s.Domains[1].Pool.Colours() {
+		if c0[c] {
+			t.Fatalf("colour %d shared between domains", c)
+		}
+	}
+	// Every text frame of each image is within its domain's colours.
+	n := s.Opts.Platform.Colours()
+	for _, d := range s.Domains {
+		own := map[int]bool{}
+		for _, c := range d.Pool.Colours() {
+			own[c] = true
+		}
+		for _, f := range d.Image.TextFrames() {
+			if !own[memory.ColourOf(f, n)] {
+				t.Fatalf("domain %d kernel text frame outside its colours", d.ID)
+			}
+		}
+	}
+}
+
+func TestRawSystemSharesKernel(t *testing.T) {
+	s, err := NewSystem(Options{Platform: hw.Sabre(), Scenario: kernel.ScenarioRaw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Domains[0].Image != s.K.BootImage() || s.Domains[1].Image != s.K.BootImage() {
+		t.Fatal("raw domains must share the boot kernel image")
+	}
+	if s.Domains[0].Pool.Colours() != nil {
+		t.Fatal("raw pools must be colour-blind")
+	}
+}
+
+func TestColourFraction(t *testing.T) {
+	s, err := NewSystem(Options{Platform: hw.Haswell(), Scenario: kernel.ScenarioProtected, ColourFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 colours, 2 domains -> 4 each; 50% of that -> 2.
+	if got := len(s.Domains[0].Pool.Colours()); got != 2 {
+		t.Fatalf("domain 0 colours = %d, want 2", got)
+	}
+	// Raw with a fraction restricts without cloning (Figure 7 base case).
+	s2, err := NewSystem(Options{Platform: hw.Haswell(), Scenario: kernel.ScenarioRaw, ColourFraction: 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s2.Domains[0].Pool.Colours()); got != 6 {
+		t.Fatalf("raw 75%% colours = %d, want 6", got)
+	}
+	if s2.Domains[0].Image != s2.K.BootImage() {
+		t.Fatal("raw reduced-cache system must not clone")
+	}
+}
+
+func TestPaddingConfigured(t *testing.T) {
+	s, err := NewSystem(Options{Platform: hw.Haswell(), Scenario: kernel.ScenarioProtected, PadMicros: 58.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hw.Haswell().MicrosToCycles(58.8)
+	for _, d := range s.Domains {
+		if d.Image.PadCycles != want {
+			t.Fatalf("domain %d pad = %d cycles, want %d", d.ID, d.Image.PadCycles, want)
+		}
+	}
+}
+
+func TestSpawnAndRun(t *testing.T) {
+	s, err := NewSystem(Options{Platform: hw.Haswell(), Scenario: kernel.ScenarioProtected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.MapBuffer(0, 0x400000, 2); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	if _, err := s.Spawn(0, "p", 10, kernel.ProgramFunc(func(e *kernel.Env) bool {
+		e.Load(0x400000)
+		steps++
+		return steps < 5
+	})); err != nil {
+		t.Fatal(err)
+	}
+	s.RunCoreFor(0, 4*s.Timeslice())
+	if steps != 5 {
+		t.Fatalf("program ran %d steps, want 5", steps)
+	}
+}
+
+func TestEndpointAndNotificationHelpers(t *testing.T) {
+	s, err := NewSystem(Options{Platform: hw.Haswell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cSlot, sSlot, err := s.NewEndpointPair(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Domains[0].Proc.CSpace.Lookup(cSlot, kernel.CapEndpoint, kernel.RightWrite); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Domains[1].Proc.CSpace.Lookup(sSlot, kernel.CapEndpoint, kernel.RightRead); err != nil {
+		t.Fatal(err)
+	}
+	nSlot, n, err := s.NewNotification(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == nil {
+		t.Fatal("nil notification")
+	}
+	if _, err := s.Domains[0].Proc.CSpace.Lookup(nSlot, kernel.CapNotification, kernel.RightWrite); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewIRQPartitioning(t *testing.T) {
+	s, err := NewSystem(Options{Platform: hw.Haswell(), Scenario: kernel.ScenarioProtected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := s.NewIRQ(0, 9, 0, true)
+	c, err := s.Domains[0].Proc.CSpace.Lookup(slot, kernel.CapIRQHandler, kernel.RightWrite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := c.Obj.(*kernel.IRQHandler)
+	if h.Line != 9 || h.Timer == nil {
+		t.Fatalf("IRQ handler malformed: %+v", h)
+	}
+}
+
+func TestRunCoresFor(t *testing.T) {
+	s, err := NewSystem(Options{Platform: hw.Haswell()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before0, before1 := s.Now(0), s.Now(1)
+	s.RunCoresFor([]int{0, 1}, 50_000)
+	if s.Now(0) < before0+50_000 || s.Now(1) < before1+50_000 {
+		t.Fatal("cores did not advance")
+	}
+}
+
+func TestSharedColourBuffer(t *testing.T) {
+	s, err := NewSystem(Options{
+		Platform:      hw.Haswell(),
+		Scenario:      kernel.ScenarioProtected,
+		SharedColours: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := s.Opts.Platform.Colours()
+	// Domains must not own the reserved colours.
+	for _, d := range s.Domains {
+		for _, c := range d.Pool.Colours() {
+			if c >= n-2 {
+				t.Fatalf("domain %d owns reserved shared colour %d", d.ID, c)
+			}
+		}
+	}
+	frames, err := s.NewSharedBuffer([]int{0, 1}, 0x7000_0000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if c := memory.ColourOf(f, n); c < n-2 {
+			t.Fatalf("shared frame colour %d outside the dedicated set", c)
+		}
+	}
+	// Both domains translate the shared vaddr to the same physical page.
+	trA, okA := s.Domains[0].Proc.AS.Translate(0x7000_0000)
+	trB, okB := s.Domains[1].Proc.AS.Translate(0x7000_0000)
+	if !okA || !okB || trA.PAddr != trB.PAddr {
+		t.Fatalf("shared mapping mismatch: %v/%v %v/%v", trA.PAddr, okA, trB.PAddr, okB)
+	}
+	// And the shared-colour cache sets are reachable from both domains —
+	// the residual channel the paper says sharers must handle themselves.
+	llc := s.K.M.Hier.LLC()
+	set := llc.SetOf(trA.PAddr)
+	_ = set
+}
+
+func TestSharedBufferRequiresReservation(t *testing.T) {
+	s, err := NewSystem(Options{Platform: hw.Haswell(), Scenario: kernel.ScenarioProtected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.NewSharedBuffer([]int{0}, 0x7000_0000, 1); err == nil {
+		t.Fatal("shared buffer without reserved colours must fail")
+	}
+	if _, err := NewSystem(Options{
+		Platform: hw.Haswell(), Scenario: kernel.ScenarioProtected, SharedColours: 8,
+	}); err == nil {
+		t.Fatal("reserving every colour must fail")
+	}
+}
+
+func TestFourTenantCloudPartition(t *testing.T) {
+	// The cloud scenario scaled up: four mutually distrusting tenants,
+	// each with its own colours and kernel image, all disjoint.
+	s, err := NewSystem(Options{
+		Platform: hw.Sabre(), // 16 colours: 4 per tenant
+		Scenario: kernel.ScenarioProtected,
+		Domains:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := map[int]int{}
+	images := map[*kernel.Image]bool{}
+	for _, d := range s.Domains {
+		if len(d.Pool.Colours()) != 4 {
+			t.Fatalf("tenant %d has %d colours, want 4", d.ID, len(d.Pool.Colours()))
+		}
+		for _, c := range d.Pool.Colours() {
+			if prev, dup := owned[c]; dup {
+				t.Fatalf("colour %d owned by tenants %d and %d", c, prev, d.ID)
+			}
+			owned[c] = d.ID
+		}
+		images[d.Image] = true
+	}
+	if len(images) != 4 {
+		t.Fatalf("tenants share kernel images: %d distinct", len(images))
+	}
+	// All four tenants make progress under the shared scheduler.
+	steps := make([]int, 4)
+	for i := range s.Domains {
+		i := i
+		if _, err := s.MapBuffer(i, 0x40_0000, 1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Spawn(i, "tenant", 10, kernel.ProgramFunc(func(e *kernel.Env) bool {
+			e.Load(0x40_0000)
+			steps[i]++
+			return true
+		})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunCoreFor(0, 10*s.Timeslice())
+	for i, n := range steps {
+		if n == 0 {
+			t.Errorf("tenant %d starved", i)
+		}
+	}
+	// And the runtime audit confirms the partition.
+	procs := make([]*kernel.Process, 0, 4)
+	for _, d := range s.Domains {
+		procs = append(procs, d.Proc)
+	}
+	if v := s.K.AuditColourIsolation(procs); len(v) != 0 {
+		t.Fatalf("colour audit failed: %v", v)
+	}
+}
+
+// The full re-partitioning lifecycle: destroy a domain, return its
+// memory, grow the survivor with its colours, and verify the enlarged
+// partition both allocates the new colours and stays audit-clean.
+func TestDestroyAndGrowDomain(t *testing.T) {
+	s, err := NewSystem(Options{Platform: hw.Haswell(), Scenario: kernel.ScenarioProtected})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := s.K.M.Alloc.FreeFrames()
+	if _, err := s.MapBuffer(1, 0x40_0000, 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Spawn(1, "doomed", 10, kernel.ProgramFunc(func(e *kernel.Env) bool {
+		e.Load(0x40_0000)
+		return true
+	})); err != nil {
+		t.Fatal(err)
+	}
+	s.RunCoreFor(0, 2*s.Timeslice())
+
+	if err := s.DestroyDomain(1); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Domains[1].Image.Zombie() {
+		t.Fatal("destroyed domain's image not revoked")
+	}
+	if s.K.M.Alloc.FreeFrames() < freeBefore {
+		t.Fatalf("teardown leaked frames: %d < %d", s.K.M.Alloc.FreeFrames(), freeBefore)
+	}
+	if err := s.GrowDomain(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Domains[0].Pool.Colours()); got != 8 {
+		t.Fatalf("survivor owns %d colours after growth, want 8", got)
+	}
+	if len(s.Domains[1].Pool.Colours()) != 0 {
+		t.Fatal("destroyed domain still owns colours")
+	}
+	// The survivor can now allocate in the inherited colours and remains
+	// audit-clean.
+	seen := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		f, err := s.Domains[0].Pool.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[memory.ColourOf(f, 8)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("growth not effective: allocations span %d colours", len(seen))
+	}
+	if v := s.K.AuditColourIsolation([]*kernel.Process{s.Domains[0].Proc}); len(v) != 0 {
+		t.Fatalf("survivor partition violated: %v", v)
+	}
+	// And the machine still runs.
+	s.RunCoreFor(0, 2*s.Timeslice())
+}

@@ -1,0 +1,96 @@
+package crypto
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModExpBasics(t *testing.T) {
+	cases := []struct{ b, e, m, want uint64 }{
+		{2, 10, 1000, 24},
+		{3, 0, 7, 1},
+		{5, 1, 7, 5},
+		{7, 2, 100, 49},
+		{2, 61, GroupP, 1}, // 2^61 = (2^61 - 1) + 1, so it reduces to 1
+		{10, 5, 1, 0},
+	}
+	for _, c := range cases {
+		if got := ModExp(c.b, c.e, c.m); got != c.want {
+			t.Errorf("ModExp(%d,%d,%d) = %d, want %d", c.b, c.e, c.m, got, c.want)
+		}
+	}
+}
+
+// Property: Fermat's little theorem in the Mersenne-prime group.
+func TestPropertyFermat(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := rng.Uint64()%(GroupP-2) + 1
+		return ModExp(a, GroupP-1, GroupP) == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: encryption round-trips through decryption.
+func TestPropertyEncryptDecrypt(t *testing.T) {
+	f := func(seed int64, mRaw uint64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		key := GenerateKey(rng)
+		m := mRaw%(GroupP-1) + 1
+		k := rng.Uint64()%(GroupP-2) + 1
+		return Decrypt(key, Encrypt(key, m, k)) == m
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyBits(t *testing.T) {
+	// x = 0b1011: bits after the leading 1 are 0,1,1.
+	got := KeyBits(0b1011)
+	want := []bool{false, true, true}
+	if len(got) != len(want) {
+		t.Fatalf("KeyBits(11) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("KeyBits(11) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestGenerateShortKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	k := GenerateShortKey(rng, 24)
+	if n := len(KeyBits(k.X)) + 1; n != 24 {
+		t.Errorf("short key has %d significant bits, want 24", n)
+	}
+	if k.X&1 != 1 {
+		t.Error("short key exponent should be odd")
+	}
+	// Clamping.
+	if k := GenerateShortKey(rng, 100); len(KeyBits(k.X))+1 > 60 {
+		t.Error("key bits not clamped to 60")
+	}
+}
+
+func TestGenerateKeyConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	k := GenerateKey(rng)
+	if k.Y != ModExp(k.G, k.X, k.P) {
+		t.Fatal("public key inconsistent with secret exponent")
+	}
+}
+
+func TestMulModNoOverflow(t *testing.T) {
+	// Values near the modulus would overflow naive multiplication.
+	a, b := uint64(GroupP-1), uint64(GroupP-2)
+	got := mulMod(a, b, GroupP)
+	// (P-1)(P-2) mod P = (P^2 -3P + 2) mod P = 2.
+	if got != 2 {
+		t.Fatalf("mulMod(P-1, P-2, P) = %d, want 2", got)
+	}
+}

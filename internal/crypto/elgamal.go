@@ -1,0 +1,103 @@
+// Package crypto implements the Figure 4 victim: an ElGamal decryption
+// using square-and-multiply modular exponentiation, in the style of
+// GnuPG 1.4.13. The arithmetic is real (over 64-bit groups); the cache
+// behaviour is modelled by executing the square and multiply routines'
+// instruction footprints through the simulated hierarchy, so the secret
+// exponent's bit pattern is visible — or not — to an LLC spy exactly as
+// on hardware.
+package crypto
+
+import (
+	"math/bits"
+	"math/rand"
+)
+
+// mulMod returns a*b mod m without overflow.
+func mulMod(a, b, m uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	_, rem := bits.Div64(hi%m, lo, m)
+	return rem
+}
+
+// ModExp computes base^exp mod m by left-to-right square-and-multiply —
+// the exact structure the attack exploits: one square per bit, one
+// multiply per set bit.
+func ModExp(base, exp, m uint64) uint64 {
+	if m == 1 {
+		return 0
+	}
+	result := uint64(1)
+	for i := bits.Len64(exp) - 1; i >= 0; i-- {
+		result = mulMod(result, result, m)
+		if exp>>uint(i)&1 == 1 {
+			result = mulMod(result, base, m)
+		}
+	}
+	return result
+}
+
+// p is a 61-bit safe-ish prime group modulus (2^61 - 1, a Mersenne
+// prime) with generator 3; small enough for uint64 arithmetic, large
+// enough that exponents have plenty of bits to leak.
+const (
+	GroupP = (1 << 61) - 1
+	GroupG = 3
+)
+
+// PrivateKey is an ElGamal private key.
+type PrivateKey struct {
+	P, G uint64
+	X    uint64 // secret exponent
+	Y    uint64 // public: G^X mod P
+}
+
+// GenerateKey derives a key from the deterministic rng.
+func GenerateKey(rng *rand.Rand) PrivateKey {
+	x := rng.Uint64()%(GroupP-2) + 1
+	return PrivateKey{P: GroupP, G: GroupG, X: x, Y: ModExp(GroupG, x, GroupP)}
+}
+
+// GenerateShortKey derives a key whose exponent has exactly `bits`
+// significant bits. The Figure 4 harness uses short exponents so a full
+// square-and-multiply pass fits in a bounded spy trace; the leak
+// mechanism is identical at any length.
+func GenerateShortKey(rng *rand.Rand, keyBits int) PrivateKey {
+	if keyBits < 2 {
+		keyBits = 2
+	}
+	if keyBits > 60 {
+		keyBits = 60
+	}
+	x := rng.Uint64()%(1<<uint(keyBits-1)) | 1<<uint(keyBits-1) | 1
+	return PrivateKey{P: GroupP, G: GroupG, X: x, Y: ModExp(GroupG, x, GroupP)}
+}
+
+// Ciphertext is an ElGamal ciphertext pair.
+type Ciphertext struct{ C1, C2 uint64 }
+
+// Encrypt encrypts m under the public part of key with ephemeral k.
+func Encrypt(key PrivateKey, m, k uint64) Ciphertext {
+	return Ciphertext{
+		C1: ModExp(key.G, k, key.P),
+		C2: mulMod(m, ModExp(key.Y, k, key.P), key.P),
+	}
+}
+
+// Decrypt recovers m = C2 * (C1^X)^(P-2) mod P (Fermat inverse). The
+// C1^X exponentiation is the secret-dependent square-and-multiply.
+func Decrypt(key PrivateKey, c Ciphertext) uint64 {
+	s := ModExp(c.C1, key.X, key.P)
+	inv := ModExp(s, key.P-2, key.P)
+	return mulMod(c.C2, inv, key.P)
+}
+
+// KeyBits returns the exponent's bits most-significant first, skipping
+// the leading 1 (which square-and-multiply handles implicitly).
+func KeyBits(x uint64) []bool {
+	n := bits.Len64(x)
+	out := make([]bool, 0, n-1)
+	for i := n - 2; i >= 0; i-- {
+		out = append(out, x>>uint(i)&1 == 1)
+	}
+	return out
+}

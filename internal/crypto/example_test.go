@@ -1,0 +1,36 @@
+package crypto_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"timeprotection/internal/crypto"
+)
+
+// ExampleDecrypt round-trips a message through ElGamal — the arithmetic
+// the Figure 4 victim really performs while leaking its exponent through
+// the cache.
+func ExampleDecrypt() {
+	rng := rand.New(rand.NewSource(7))
+	key := crypto.GenerateKey(rng)
+	ct := crypto.Encrypt(key, 424242, rng.Uint64()%(crypto.GroupP-2)+1)
+	fmt.Println(crypto.Decrypt(key, ct))
+	// Output:
+	// 424242
+}
+
+// ExampleKeyBits shows the bit sequence square-and-multiply walks — one
+// square per bit, one extra multiply per set bit, which is exactly what
+// the LLC spy observes.
+func ExampleKeyBits() {
+	for _, b := range crypto.KeyBits(0b1011) {
+		if b {
+			fmt.Print("square+multiply ")
+		} else {
+			fmt.Print("square ")
+		}
+	}
+	fmt.Println()
+	// Output:
+	// square square+multiply square+multiply
+}

@@ -1,0 +1,90 @@
+package crypto
+
+import (
+	"timeprotection/internal/kernel"
+)
+
+// Victim repeatedly decrypts a ciphertext, driving the square and
+// multiply routines' instruction footprints through the simulated cache
+// hierarchy: per exponent bit one pass over the square routine's code,
+// plus a pass over the multiply routine's code when the bit is set —
+// the access pattern Liu et al.'s attack reads out of the LLC.
+type Victim struct {
+	Key    PrivateKey
+	Cipher Ciphertext
+
+	// SquareVA / MulVA are the virtual addresses of the two routines'
+	// code in the victim's address space (mapped by the harness).
+	SquareVA, MulVA uint64
+	// RoutineBytes is each routine's code size.
+	RoutineBytes int
+	// GapCycles spaces consecutive bits so a spy's probe cadence can
+	// resolve them (the paper's victim has real arithmetic between).
+	GapCycles int
+
+	// Decryptions counts completed decryptions; Plaintext holds the last
+	// (functionally real) result.
+	Decryptions int
+	Plaintext   uint64
+
+	bitIdx int
+	bits   []bool
+
+	// state of the real computation, advanced bit by bit
+	acc uint64
+}
+
+// NewVictim prepares a victim for key and ciphertext.
+func NewVictim(key PrivateKey, c Ciphertext, squareVA, mulVA uint64, routineBytes int) *Victim {
+	v := &Victim{
+		Key: key, Cipher: c,
+		SquareVA: squareVA, MulVA: mulVA,
+		RoutineBytes: routineBytes,
+		GapCycles:    3000,
+	}
+	v.reset()
+	return v
+}
+
+func (v *Victim) reset() {
+	v.bits = KeyBits(v.Key.X)
+	v.bitIdx = 0
+	v.acc = v.Cipher.C1 // implicit leading 1 bit of the exponent
+}
+
+// Bits exposes the secret bit sequence (ground truth for evaluating the
+// attack).
+func (v *Victim) Bits() []bool { return v.bits }
+
+// execRoutine charges the instruction fetches of one routine pass.
+func (v *Victim) execRoutine(e *kernel.Env, base uint64) {
+	for off := 0; off < v.RoutineBytes; off += 64 {
+		e.Exec(base + uint64(off))
+	}
+}
+
+// Step processes one exponent bit per invocation: square always,
+// multiply when the bit is set (both functionally and in the cache).
+// Each routine pass is followed by its arithmetic time (GapCycles), so
+// a set bit roughly doubles the interval to the next square — the
+// interval encoding the Figure 4 attack reads out.
+func (v *Victim) Step(e *kernel.Env) bool {
+	v.execRoutine(e, v.SquareVA)
+	v.acc = mulMod(v.acc, v.acc, v.Key.P)
+	e.Spin(v.GapCycles)
+	if v.bits[v.bitIdx] {
+		v.execRoutine(e, v.MulVA)
+		v.acc = mulMod(v.acc, v.Cipher.C1, v.Key.P)
+		e.Spin(v.GapCycles)
+	}
+	v.bitIdx++
+	if v.bitIdx == len(v.bits) {
+		// Finish the decryption with the (non-secret-dependent) inverse.
+		s := v.acc
+		inv := ModExp(s, v.Key.P-2, v.Key.P)
+		v.Plaintext = mulMod(v.Cipher.C2, inv, v.Key.P)
+		v.Decryptions++
+		v.reset()
+	}
+	return true
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"timeprotection/internal/channel"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/mi"
+)
+
+// AblationResult isolates the contribution of individual time-protection
+// mechanisms (the design decisions D1-D6 of DESIGN.md): each row removes
+// or varies one mechanism and reports the resulting channel.
+type AblationResult struct {
+	Platform string
+	Rows     []AblationRow
+}
+
+// AblationRow is one ablation measurement.
+type AblationRow struct {
+	Name     string
+	Detail   string
+	Measured mi.Result
+}
+
+// Render formats the ablation study.
+func (r AblationResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations (%s): per-mechanism contribution\n", r.Platform)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-34s %v  (%s)\n", row.Name, row.Measured, row.Detail)
+	}
+	return b.String()
+}
+
+// Ablations measures the design-decision ablations.
+func Ablations(cfg Config) (AblationResult, error) {
+	cfg = cfg.withDefaults()
+	res := AblationResult{Platform: cfg.Platform.Name}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	spec := channel.Spec{Platform: cfg.Platform, Samples: cfg.Samples, Seed: cfg.Seed}
+
+	// D1: shared kernel vs cloned kernels, via the syscall channel.
+	spec.Scenario = kernel.ScenarioRaw
+	shared, err := channel.RunKernelChannel(spec)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Name: "D1 shared kernel image", Detail: "kernel channel without cloning",
+		Measured: mi.Analyze(shared, rng),
+	})
+	spec.Scenario = kernel.ScenarioProtected
+	cloned, err := channel.RunKernelChannel(spec)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Name: "D1 cloned coloured kernels", Detail: "kernel channel with cloning",
+		Measured: mi.Analyze(cloned, rng),
+	})
+
+	// D3: padding on/off, via the flush channel's offline observable.
+	spec.Scenario = kernel.ScenarioProtected
+	spec.PadMicros = 0
+	noPad, err := channel.RunFlushChannel(spec)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Name: "D3 no switch padding", Detail: "flush-latency channel, offline time",
+		Measured: mi.Analyze(noPad.Offline, rng),
+	})
+	spec.PadMicros = 62.5
+	padded, err := channel.RunFlushChannel(spec)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Name: "D3 padded switches", Detail: "flush-latency channel, offline time",
+		Measured: mi.Analyze(padded.Offline, rng),
+	})
+	spec.PadMicros = 0
+
+	// D6: prefetcher hidden state, via the protected L2 channel (only
+	// meaningful where a private L2 exists).
+	if cfg.Platform.Hierarchy.L2Private {
+		l2, err := channel.RunIntraCore(spec, channel.L2)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Name: "D6 prefetcher state retained", Detail: "protected L2 channel",
+			Measured: mi.Analyze(l2, rng),
+		})
+		spec.DisablePrefetcher = true
+		l2off, err := channel.RunIntraCore(spec, channel.L2)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Name: "D6 prefetcher disabled", Detail: "protected L2 channel, MSR 0x1A4",
+			Measured: mi.Analyze(l2off, rng),
+		})
+		spec.DisablePrefetcher = false
+	}
+
+	// D5: interrupt partitioning on/off.
+	open, err := channel.RunInterruptChannel(spec, false)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Name: "D5 IRQs unpartitioned", Detail: "interrupt channel",
+		Measured: mi.Analyze(open, rng),
+	})
+	closed, err := channel.RunInterruptChannel(spec, true)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, AblationRow{
+		Name: "D5 IRQs partitioned", Detail: "interrupt channel, Kernel_SetInt",
+		Measured: mi.Analyze(closed, rng),
+	})
+	return res, nil
+}

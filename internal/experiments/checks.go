@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"timeprotection/internal/channel"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/mi"
+)
+
+// Check is one security verdict the reproduction must uphold: a channel
+// that has to be open (the attack works) or closed (the defence holds).
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// RenderChecks formats a check list and reports overall success.
+func RenderChecks(checks []Check) (string, bool) {
+	var b strings.Builder
+	ok := true
+	for _, c := range checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+			ok = false
+		}
+		fmt.Fprintf(&b, "  [%s] %-52s %s\n", status, c.Name, c.Detail)
+	}
+	return b.String(), ok
+}
+
+// Checks runs the full verdict suite — the regression gate for the
+// repository: every attack must still work where the paper says it
+// works, and every mitigation must still hold where the paper says it
+// holds. Intended for CI via `tpbench -check`.
+func Checks(cfg Config) ([]Check, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var out []Check
+	add := func(name string, wantLeak bool, r mi.Result) {
+		out = append(out, Check{
+			Name:   name,
+			Pass:   r.Leak() == wantLeak,
+			Detail: r.String(),
+		})
+	}
+	runIntra := func(sc kernel.Scenario, res channel.Resource, disablePF bool) (mi.Result, error) {
+		ds, err := channel.RunIntraCore(channel.Spec{
+			Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples,
+			Seed: cfg.Seed, DisablePrefetcher: disablePF,
+		}, res)
+		if err != nil {
+			return mi.Result{}, err
+		}
+		return mi.Analyze(ds, rng), nil
+	}
+
+	// Intra-core channels: open raw, closed protected (except x86 L2).
+	for _, res := range channel.Resources(cfg.Platform) {
+		r, err := runIntra(kernel.ScenarioRaw, res, false)
+		if err != nil {
+			return nil, err
+		}
+		add(fmt.Sprintf("%s raw channel open", res), true, r)
+		r, err = runIntra(kernel.ScenarioProtected, res, false)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Platform.Arch == "x86" && res == channel.L2 {
+			add("x86 L2 protected residual (prefetcher) open", true, r)
+			r, err = runIntra(kernel.ScenarioProtected, res, true)
+			if err != nil {
+				return nil, err
+			}
+			add("x86 L2 protected + prefetcher-off closed", false, r)
+		} else {
+			add(fmt.Sprintf("%s protected channel closed", res), false, r)
+		}
+	}
+
+	// Kernel channel (Figure 3).
+	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioProtected} {
+		ds, err := channel.RunKernelChannel(channel.Spec{
+			Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		r := mi.Analyze(ds, rng)
+		if sc == kernel.ScenarioRaw {
+			add("kernel (syscall) channel open raw", true, r)
+		} else {
+			add("kernel channel closed by cloning", false, r)
+		}
+	}
+
+	// Flush channel (Table 4) without and with padding.
+	spec := channel.Spec{Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed}
+	noPad, err := channel.RunFlushChannel(spec)
+	if err != nil {
+		return nil, err
+	}
+	add("flush-latency channel open without padding", true, mi.Analyze(noPad.Offline, rng))
+	spec.PadMicros = 62.5
+	padded, err := channel.RunFlushChannel(spec)
+	if err != nil {
+		return nil, err
+	}
+	add("flush-latency channel closed by padding", false, mi.Analyze(padded.Offline, rng))
+	spec.PadMicros = 0
+
+	// Interrupt channel (Figure 6).
+	open, err := channel.RunInterruptChannel(spec, false)
+	if err != nil {
+		return nil, err
+	}
+	add("interrupt channel open unpartitioned", true, mi.Analyze(open, rng))
+	closed, err := channel.RunInterruptChannel(spec, true)
+	if err != nil {
+		return nil, err
+	}
+	add("interrupt channel closed by Kernel_SetInt", false, mi.Analyze(closed, rng))
+
+	// LLC side channel (Figure 4) — x86 only.
+	if cfg.Platform.Arch == "x86" {
+		raw, err := channel.RunLLCSideChannel(channel.Spec{
+			Platform: cfg.Platform, Scenario: kernel.ScenarioRaw, Samples: cfg.Samples, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Check{
+			Name:   "LLC side channel recovers the key raw",
+			Pass:   raw.Accuracy >= 0.95,
+			Detail: fmt.Sprintf("accuracy %.1f%%", raw.Accuracy*100),
+		})
+		prot, err := channel.RunLLCSideChannel(channel.Spec{
+			Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Check{
+			Name:   "LLC spy blinded by colouring",
+			Pass:   prot.ActiveSlots == 0,
+			Detail: fmt.Sprintf("active slots %d", prot.ActiveSlots),
+		})
+
+		// Beyond-reach channels must stay open even under protection.
+		bus, err := channel.RunBusChannel(channel.Spec{
+			Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed,
+		}, false)
+		if err != nil {
+			return nil, err
+		}
+		add("interconnect channel beyond protection (open)", true, mi.Analyze(bus, rng))
+	}
+	return out, nil
+}

@@ -1,0 +1,89 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§5). Each driver builds the systems it needs, runs
+// the measurement, and returns a structured result that renders as a
+// paper-style table; cmd/tpbench and the repository's benchmarks share
+// these drivers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"timeprotection/internal/hw"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Platform to run on (defaults to Haswell).
+	Platform hw.Platform
+	// Samples per channel measurement (default 150).
+	Samples int
+	// SplashBlocks is the work amount for Figure 7 / Table 8 runs;
+	// 0 uses each benchmark's default (larger = less run-to-run scatter).
+	SplashBlocks int
+	// Seed drives sender symbol sequences and key generation.
+	Seed int64
+	// Table8Slices overrides the time-shared study's throughput horizon
+	// (in 2 ms slices; 0 = 24). Tests shrink it for speed.
+	Table8Slices int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Platform.Cores == 0 {
+		c.Platform = hw.Haswell()
+	}
+	if c.Samples == 0 {
+		c.Samples = 150
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	return c
+}
+
+// renderTable formats a titled ASCII table.
+func renderTable(title string, headers []string, rows [][]string) string {
+	width := make([]int, len(headers))
+	for i, h := range headers {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(headers)
+	total := 0
+	for _, w := range width {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// mb formats bits as millibits with one decimal.
+func mb(bits float64) string { return fmt.Sprintf("%.1f", bits*1000) }
+
+// us formats a microsecond value.
+func us(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%+.2f%%", v*100) }

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"timeprotection/internal/hw"
+)
+
+// The interconnect channel is the one time protection cannot close: all
+// four configurations leak, and MBA merely attenuates.
+func TestInterconnectAllConfigurationsLeak(t *testing.T) {
+	r, err := Interconnect(fastCfg(hw.Haswell()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Raw.Leak() || !r.Protected.Leak() {
+		t.Errorf("interconnect channel must leak raw (%v) and protected (%v)", r.Raw, r.Protected)
+	}
+	if !r.RawMBA.Leak() || !r.ProtectedMBA.Leak() {
+		t.Errorf("MBA must not close the channel: %v / %v", r.RawMBA, r.ProtectedMBA)
+	}
+	if r.RawMBA.M >= r.Raw.M {
+		t.Errorf("MBA should attenuate: %.3f vs %.3f", r.RawMBA.M, r.Raw.M)
+	}
+	if !strings.Contains(r.Render(), "MBA") {
+		t.Error("render missing MBA rows")
+	}
+	if !r.DRAMRaw.Leak() || !r.DRAMProtected.Leak() {
+		t.Errorf("the DRAM row-buffer channel must stay open: %v / %v", r.DRAMRaw, r.DRAMProtected)
+	}
+}
+
+// CAT closes the cross-core LLC side channel without memory colouring.
+func TestCATClosesLLCSideChannel(t *testing.T) {
+	r, err := CAT(fastCfg(hw.Haswell()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Raw.Accuracy < 0.95 {
+		t.Errorf("raw attack accuracy = %.2f", r.Raw.Accuracy)
+	}
+	if r.CAT.Accuracy > 0.6 {
+		t.Errorf("CAT attack accuracy = %.2f, want chance-level", r.CAT.Accuracy)
+	}
+	if len(r.CAT.Recovered) != 0 && r.CAT.Accuracy > 0.6 {
+		t.Error("CAT should leave the spy without key bits")
+	}
+}
+
+// Hyperthread channels are inherent: every scenario leaks.
+func TestSMTChannelInherent(t *testing.T) {
+	r, err := SMT(fastCfg(hw.Haswell()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]bool{
+		"raw":        r.Raw.Leak(),
+		"full flush": r.FullFlush.Leak(),
+		"protected":  r.Protected.Leak(),
+	} {
+		if !m {
+			t.Errorf("SMT channel closed under %s — it must be inherent", name)
+		}
+	}
+}
+
+// Fuzzy time closes the channel only at grains that ruin legitimate
+// timing.
+func TestFuzzyTimeTradeoff(t *testing.T) {
+	r, err := FuzzyTime(fastCfg(hw.Haswell()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if !r.Rows[0].Measured.Leak() {
+		t.Error("precise clock must leak")
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.Measured.Leak() {
+		t.Errorf("coarsest grain still leaks: %v", last.Measured)
+	}
+	if last.TimerErrorPct < 100 {
+		t.Errorf("the closing grain should ruin a 10us measurement, error=%.0f%%", last.TimerErrorPct)
+	}
+}
+
+// The regression gate itself must pass on both platforms.
+func TestChecksAllPass(t *testing.T) {
+	for _, plat := range []hw.Platform{hw.Haswell(), hw.Sabre()} {
+		checks, err := Checks(fastCfg(plat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(checks) < 10 {
+			t.Fatalf("%s: only %d checks ran", plat.Name, len(checks))
+		}
+		rendered, ok := RenderChecks(checks)
+		if !ok {
+			t.Errorf("%s verdicts failed:\n%s", plat.Name, rendered)
+		}
+	}
+}

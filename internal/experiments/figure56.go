@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"timeprotection/internal/channel"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/mi"
+)
+
+// Table4Result is the cache-flush latency channel (§5.3.4, Figure 5 and
+// Table 4): online/offline observations without and with switch padding.
+type Table4Result struct {
+	Platform                  string
+	PadMicros                 float64
+	NoPadOnline, NoPadOffline mi.Result
+	PadOnline, PadOffline     mi.Result
+	// OfflineBySymbol summarises the unmitigated channel the way
+	// Figure 5 plots it: mean receiver-observed offline time (cycles)
+	// per sender dirty-footprint symbol.
+	OfflineBySymbol map[int]float64
+}
+
+// Render formats the result.
+func (r Table4Result) Render() string {
+	rows := [][]string{
+		{"No pad", "Online", mb(r.NoPadOnline.M), mb(r.NoPadOnline.M0), fmt.Sprintf("%v", r.NoPadOnline.Leak())},
+		{"", "Offline", mb(r.NoPadOffline.M), mb(r.NoPadOffline.M0), fmt.Sprintf("%v", r.NoPadOffline.Leak())},
+		{fmt.Sprintf("Pad %.1f us", r.PadMicros), "Online", mb(r.PadOnline.M), mb(r.PadOnline.M0), fmt.Sprintf("%v", r.PadOnline.Leak())},
+		{"", "Offline", mb(r.PadOffline.M), mb(r.PadOffline.M0), fmt.Sprintf("%v", r.PadOffline.Leak())},
+	}
+	out := renderTable(
+		fmt.Sprintf("Table 4: cache-flush latency channel (mb), %s (paper Arm: no pad 1400 -> pad 16.3/210, x86 8.4 -> 0.5)", r.Platform),
+		[]string{"Config", "Timing", "M", "M0", "leak"}, rows)
+	var b strings.Builder
+	b.WriteString(out)
+	b.WriteString("Figure 5 (unmitigated): mean offline time by sender dirty footprint:\n")
+	for sym := 0; sym < len(r.OfflineBySymbol); sym++ {
+		fmt.Fprintf(&b, "  %d/3 of L1-D dirtied: %.0f cycles\n", sym, r.OfflineBySymbol[sym])
+	}
+	return b.String()
+}
+
+// Table4 measures the flush channel without and with padding. The pad
+// values follow the paper: 58.8 us on x86, 62.5 us on Arm.
+func Table4(cfg Config) (Table4Result, error) {
+	cfg = cfg.withDefaults()
+	pad := 58.8
+	if cfg.Platform.Arch == "arm" {
+		pad = 62.5
+	}
+	res := Table4Result{Platform: cfg.Platform.Name, PadMicros: pad, OfflineBySymbol: map[int]float64{}}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	spec := channel.Spec{Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed}
+	noPad, err := channel.RunFlushChannel(spec)
+	if err != nil {
+		return res, err
+	}
+	res.NoPadOnline = mi.Analyze(noPad.Online, rng)
+	res.NoPadOffline = mi.Analyze(noPad.Offline, rng)
+	for _, in := range noPad.Offline.Inputs() {
+		outs := noPad.Offline.OutputsFor(in)
+		sum := 0.0
+		for _, o := range outs {
+			sum += o
+		}
+		if len(outs) > 0 {
+			res.OfflineBySymbol[in] = sum / float64(len(outs))
+		}
+	}
+
+	spec.PadMicros = pad
+	padded, err := channel.RunFlushChannel(spec)
+	if err != nil {
+		return res, err
+	}
+	res.PadOnline = mi.Analyze(padded.Online, rng)
+	res.PadOffline = mi.Analyze(padded.Offline, rng)
+	return res, nil
+}
+
+// Figure6Result is the interrupt channel (§5.3.5): the spy's first
+// online period against the trojan's timer setting, unpartitioned vs
+// partitioned.
+type Figure6Result struct {
+	Platform      string
+	Unpartitioned mi.Result
+	Partitioned   mi.Result
+	// OnlineBySymbol is the Figure 6 series: mean first-online time per
+	// trojan timer symbol in the unpartitioned system.
+	OnlineBySymbol map[int]float64
+}
+
+// Render formats the result.
+func (r Figure6Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: interrupt channel, %s\n", r.Platform)
+	fmt.Fprintf(&b, " unpartitioned: %v   (paper: M=902 mb)\n", r.Unpartitioned)
+	fmt.Fprintf(&b, " partitioned (Kernel_SetInt): %v   (paper: M=0.5 mb, M0=0.7 mb)\n", r.Partitioned)
+	b.WriteString(" spy first-online time by trojan timer symbol (unpartitioned):\n")
+	for sym := 0; sym < len(r.OnlineBySymbol); sym++ {
+		fmt.Fprintf(&b, "  timer at %d%% of slice: %.0f cycles\n", 30+10*sym, r.OnlineBySymbol[sym])
+	}
+	return b.String()
+}
+
+// Figure6 measures the interrupt channel with and without partitioning.
+func Figure6(cfg Config) (Figure6Result, error) {
+	cfg = cfg.withDefaults()
+	res := Figure6Result{Platform: cfg.Platform.Name, OnlineBySymbol: map[int]float64{}}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	spec := channel.Spec{Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed}
+
+	open, err := channel.RunInterruptChannel(spec, false)
+	if err != nil {
+		return res, err
+	}
+	res.Unpartitioned = mi.Analyze(open, rng)
+	for _, in := range open.Inputs() {
+		outs := open.OutputsFor(in)
+		sum := 0.0
+		for _, o := range outs {
+			sum += o
+		}
+		if len(outs) > 0 {
+			res.OnlineBySymbol[in] = sum / float64(len(outs))
+		}
+	}
+
+	closed, err := channel.RunInterruptChannel(spec, true)
+	if err != nil {
+		return res, err
+	}
+	res.Partitioned = mi.Analyze(closed, rng)
+	return res, nil
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/workload"
+)
+
+// Figure7Row is one benchmark's slowdowns relative to the unpartitioned
+// baseline kernel (paper Figure 7).
+type Figure7Row struct {
+	Name string
+	// Base75/Base50: standard kernel with a reduced cache share.
+	Base75, Base50 float64
+	// Clone100/Clone75/Clone50: cloned kernel at full/75%/50% share.
+	Clone100, Clone75, Clone50 float64
+}
+
+// Figure7Result is the colouring/cloning cost study for one platform.
+type Figure7Result struct {
+	Platform string
+	Rows     []Figure7Row
+	// GeoMean over the suite, per configuration.
+	Mean Figure7Row
+}
+
+// Render formats the result.
+func (r Figure7Result) Render() string {
+	var rows [][]string
+	add := func(row Figure7Row) {
+		rows = append(rows, []string{
+			row.Name, pct(row.Base75), pct(row.Base50),
+			pct(row.Clone100), pct(row.Clone75), pct(row.Clone50),
+		})
+	}
+	for _, row := range r.Rows {
+		add(row)
+	}
+	add(r.Mean)
+	return renderTable(
+		fmt.Sprintf("Figure 7: Splash-2 slowdown vs unpartitioned baseline, %s (paper: mostly <2%%, raytrace ~6.5%% at 50%% on Arm)", r.Platform),
+		[]string{"Benchmark", "75% base", "50% base", "100% clone", "75% clone", "50% clone"}, rows)
+}
+
+// Figure7 runs the Splash-2 analogues under the five configurations.
+func Figure7(cfg Config) (Figure7Result, error) {
+	cfg = cfg.withDefaults()
+	res := Figure7Result{Platform: cfg.Platform.Name, Mean: Figure7Row{Name: "MEAN"}}
+	specs := workload.Splash2()
+	n := 0
+	for _, spec := range specs {
+		if cfg.SplashBlocks > 0 {
+			spec.Blocks = cfg.SplashBlocks
+		}
+		run := func(sc kernel.Scenario, frac float64) (uint64, error) {
+			return workload.RunSplash(spec, workload.SplashConfig{
+				Platform:       cfg.Platform,
+				Scenario:       sc,
+				ColourFraction: frac,
+			})
+		}
+		base, err := run(kernel.ScenarioRaw, 0)
+		if err != nil {
+			return res, fmt.Errorf("%s baseline: %w", spec.Name, err)
+		}
+		row := Figure7Row{Name: spec.Name}
+		measure := func(sc kernel.Scenario, frac float64, into *float64) error {
+			c, err := run(sc, frac)
+			if err != nil {
+				return fmt.Errorf("%s %v %.0f%%: %w", spec.Name, sc, frac*100, err)
+			}
+			*into = workload.Slowdown(c, base)
+			return nil
+		}
+		if err := measure(kernel.ScenarioRaw, 0.75, &row.Base75); err != nil {
+			return res, err
+		}
+		if err := measure(kernel.ScenarioRaw, 0.50, &row.Base50); err != nil {
+			return res, err
+		}
+		if err := measure(kernel.ScenarioProtected, 0, &row.Clone100); err != nil {
+			return res, err
+		}
+		if err := measure(kernel.ScenarioProtected, 0.75, &row.Clone75); err != nil {
+			return res, err
+		}
+		if err := measure(kernel.ScenarioProtected, 0.50, &row.Clone50); err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, row)
+		res.Mean.Base75 += row.Base75
+		res.Mean.Base50 += row.Base50
+		res.Mean.Clone100 += row.Clone100
+		res.Mean.Clone75 += row.Clone75
+		res.Mean.Clone50 += row.Clone50
+		n++
+	}
+	if n > 0 {
+		res.Mean.Base75 /= float64(n)
+		res.Mean.Base50 /= float64(n)
+		res.Mean.Clone100 /= float64(n)
+		res.Mean.Clone75 /= float64(n)
+		res.Mean.Clone50 /= float64(n)
+	}
+	return res, nil
+}

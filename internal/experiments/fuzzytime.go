@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"timeprotection/internal/channel"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/mi"
+)
+
+// FuzzyTimeResult is the footnote-4 study: denying attackers access to
+// precise real time by quantising the clock. It closes channels — and
+// the paper dismisses it anyway, because the quantisation that blinds
+// the attacker also destroys every legitimate fine-grained use of time;
+// the TimerErrorPct column makes that cost concrete.
+type FuzzyTimeResult struct {
+	Platform string
+	Rows     []FuzzyTimeRow
+}
+
+// FuzzyTimeRow is one clock granularity's outcome.
+type FuzzyTimeRow struct {
+	GrainCycles uint64
+	Measured    mi.Result
+	// TimerErrorPct is the worst-case relative error this grain imposes
+	// on a legitimate 10 us measurement.
+	TimerErrorPct float64
+}
+
+// Render formats the study.
+func (r FuzzyTimeResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fuzzy time vs the raw L1-D channel, %s (paper footnote 4)\n", r.Platform)
+	fmt.Fprintf(&b, "  %-14s %-38s %s\n", "clock grain", "channel", "error on a 10us measurement")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-14d %-38v %.0f%%\n", row.GrainCycles, row.Measured, row.TimerErrorPct)
+	}
+	b.WriteString("  (the grain that closes the channel makes microsecond-scale timing\n")
+	b.WriteString("   useless — \"infeasible except in extremely constrained scenarios\")\n")
+	return b.String()
+}
+
+// FuzzyTime sweeps clock granularities against the raw L1-D channel.
+func FuzzyTime(cfg Config) (FuzzyTimeResult, error) {
+	cfg = cfg.withDefaults()
+	res := FuzzyTimeResult{Platform: cfg.Platform.Name}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tenMicros := float64(cfg.Platform.MicrosToCycles(10))
+	for _, grain := range []uint64{0, 1024, 16384, 131072} {
+		ds, err := channel.RunIntraCore(channel.Spec{
+			Platform: cfg.Platform, Scenario: kernel.ScenarioRaw,
+			Samples: cfg.Samples, Seed: cfg.Seed,
+			FuzzyGrainCycles: grain,
+		}, channel.L1D)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, FuzzyTimeRow{
+			GrainCycles:   grain,
+			Measured:      mi.Analyze(ds, rng),
+			TimerErrorPct: float64(grain) / tenMicros * 100,
+		})
+	}
+	return res, nil
+}

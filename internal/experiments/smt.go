@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"timeprotection/internal/channel"
+	"timeprotection/internal/hw"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/mi"
+)
+
+// SMTResult is the hyperthreading study of §3.1.2: an L1-D covert
+// channel between two hyperthreads of one physical core, under every
+// scenario. All rows are expected to leak — "timing channels between
+// hyperthreads are inherent" because the sharing is concurrent, so the
+// paper (and hypervisor vendors) require SMT disabled or same-domain.
+type SMTResult struct {
+	Raw       mi.Result
+	FullFlush mi.Result
+	Protected mi.Result
+}
+
+// Render formats the study.
+func (r SMTResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Hyperthread (SMT) L1-D covert channel, Haswell with SMT — §3.1.2\n")
+	fmt.Fprintf(&b, "  raw:              %v\n", r.Raw)
+	fmt.Fprintf(&b, "  full flush:       %v\n", r.FullFlush)
+	fmt.Fprintf(&b, "  time protection:  %v\n", r.Protected)
+	b.WriteString("  (expected: ALL rows leak — hyperthreads share on-core state\n")
+	b.WriteString("   concurrently; there is no switch at which to flush, and the L1 is\n")
+	b.WriteString("   not colourable. Partitioning those resources would result in\n")
+	b.WriteString("   separate cores — hence: disable SMT or keep siblings same-domain)\n")
+	return b.String()
+}
+
+// SMT runs the hyperthread channel under the three scenarios.
+func SMT(cfg Config) (SMTResult, error) {
+	cfg = cfg.withDefaults()
+	var res SMTResult
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioFullFlush, kernel.ScenarioProtected} {
+		ds, err := channel.RunSMTChannel(channel.Spec{
+			Platform: hw.HaswellSMT(), Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed,
+		})
+		if err != nil {
+			return res, err
+		}
+		m := mi.Analyze(ds, rng)
+		switch sc {
+		case kernel.ScenarioRaw:
+			res.Raw = m
+		case kernel.ScenarioFullFlush:
+			res.FullFlush = m
+		default:
+			res.Protected = m
+		}
+	}
+	return res, nil
+}

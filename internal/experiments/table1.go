@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/memory"
+)
+
+// Table1 renders the hardware-platform parameters (paper Table 1) of the
+// two simulated machines, plus the derived colour counts the experiments
+// rely on.
+func Table1() string {
+	h, s := hw.Haswell(), hw.Sabre()
+	row := func(name string, f func(p hw.Platform) string) []string {
+		return []string{name, f(h), f(s)}
+	}
+	rows := [][]string{
+		row("Microarchitecture", func(p hw.Platform) string {
+			if p.Arch == "x86" {
+				return "Haswell"
+			}
+			return "Cortex A9"
+		}),
+		row("Cores", func(p hw.Platform) string { return fmt.Sprintf("%d", p.Cores) }),
+		row("Clock", func(p hw.Platform) string { return fmt.Sprintf("%.1f GHz", p.ClockHz/1e9) }),
+		row("Cache line size", func(p hw.Platform) string { return fmt.Sprintf("%d B", p.Hierarchy.L1D.LineSize) }),
+		row("L1-D/L1-I", func(p hw.Platform) string {
+			return fmt.Sprintf("%d KiB, %d-way", p.Hierarchy.L1D.Size>>10, p.Hierarchy.L1D.Ways)
+		}),
+		row("L2", func(p hw.Platform) string {
+			kind := "private"
+			if !p.Hierarchy.L2Private {
+				kind = "shared"
+			}
+			return fmt.Sprintf("%d KiB, %d-way, %s", p.Hierarchy.L2.Size>>10, p.Hierarchy.L2.Ways, kind)
+		}),
+		row("L3", func(p hw.Platform) string {
+			if p.Hierarchy.L3.Size == 0 {
+				return "N/A"
+			}
+			return fmt.Sprintf("%d MiB, %d-way", p.Hierarchy.L3.Size>>20, p.Hierarchy.L3.Ways)
+		}),
+		row("I-TLB", func(p hw.Platform) string {
+			return fmt.Sprintf("%d, %d-way", p.Hierarchy.ITLB.Entries, p.Hierarchy.ITLB.Ways)
+		}),
+		row("D-TLB", func(p hw.Platform) string {
+			return fmt.Sprintf("%d, %d-way", p.Hierarchy.DTLB.Entries, p.Hierarchy.DTLB.Ways)
+		}),
+		row("L2-TLB", func(p hw.Platform) string {
+			return fmt.Sprintf("%d, %d-way", p.Hierarchy.L2TLB.Entries, p.Hierarchy.L2TLB.Ways)
+		}),
+		row("RAM (simulated)", func(p hw.Platform) string {
+			return fmt.Sprintf("%d MiB", p.RAMFrames*memory.PageSize>>20)
+		}),
+		row("Page colours", func(p hw.Platform) string { return fmt.Sprintf("%d", p.Colours()) }),
+		row("LLC colours", func(p hw.Platform) string { return fmt.Sprintf("%d", p.LLCColours()) }),
+	}
+	return renderTable("Table 1: hardware platforms",
+		[]string{"System", h.Name, s.Name}, rows)
+}

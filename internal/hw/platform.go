@@ -1,0 +1,162 @@
+// Package hw assembles the cache substrate into whole machines: the two
+// evaluation platforms of the paper (Table 1), per-core cycle counters,
+// interrupt controllers and programmable timers. Everything is
+// deterministic and single-threaded; "time" is the per-core cycle
+// counter advanced by simulated memory accesses and explicit spins.
+package hw
+
+import (
+	"timeprotection/internal/cache"
+	"timeprotection/internal/memory"
+)
+
+// Platform describes one evaluation machine.
+type Platform struct {
+	Name    string
+	Arch    string  // "x86" or "arm"
+	ClockHz float64 // for cycle <-> wall-clock conversion
+	Cores   int
+
+	Hierarchy cache.HierarchyConfig
+
+	// RAMFrames is the number of 4 KiB physical frames simulated.
+	RAMFrames int
+
+	// HasHWL1Flush: the architecture has instructions to flush the L1
+	// caches selectively (Arm DCCISW/ICIALLU). x86 has none, forcing the
+	// paper's "manual" flush via a cache-sized buffer.
+	HasHWL1Flush bool
+
+	// TwoLevelIRQ: hierarchical interrupt routing with the mask race of
+	// paper §4.3 (x86). Arm's single-level GIC avoids it.
+	TwoLevelIRQ bool
+}
+
+// Colours returns the page-colour count of the colouring cache: the
+// private L2 on x86 (colouring it implicitly colours the LLC, §5.4.4),
+// the shared L2/LLC on Arm.
+func (p Platform) Colours() int {
+	return p.Hierarchy.L2.Colours(memory.PageSize)
+}
+
+// LLCColours returns the colour count of the last-level cache alone
+// (the §6.1 observation that a cloud system colouring only the LLC has
+// more colours available: 32 vs 8 on Haswell).
+func (p Platform) LLCColours() int {
+	if p.Hierarchy.L3.Size > 0 {
+		return p.Hierarchy.L3.Colours(memory.PageSize)
+	}
+	return p.Hierarchy.L2.Colours(memory.PageSize)
+}
+
+// CyclesToMicros converts simulated cycles to microseconds on this
+// platform's clock.
+func (p Platform) CyclesToMicros(c uint64) float64 {
+	return float64(c) / p.ClockHz * 1e6
+}
+
+// MicrosToCycles converts microseconds to cycles.
+func (p Platform) MicrosToCycles(us float64) uint64 {
+	return uint64(us * p.ClockHz / 1e6)
+}
+
+// Haswell returns the x86 platform of Table 1: Core i7-4770, 4 cores,
+// 3.4 GHz, 32 KiB 8-way L1s, 256 KiB 8-way private L2, 8 MiB 16-way
+// shared L3.
+func Haswell() Platform {
+	return Platform{
+		Name:    "Haswell (x86)",
+		Arch:    "x86",
+		ClockHz: 3.4e9,
+		Cores:   4,
+		Hierarchy: cache.HierarchyConfig{
+			Cores:     4,
+			L1D:       cache.Config{Name: "L1-D", Size: 32 << 10, Ways: 8, LineSize: 64, HitLatency: 4, Virtual: true},
+			L1I:       cache.Config{Name: "L1-I", Size: 32 << 10, Ways: 8, LineSize: 64, HitLatency: 4, Virtual: true},
+			L2:        cache.Config{Name: "L2", Size: 256 << 10, Ways: 8, LineSize: 64, HitLatency: 12},
+			L2Private: true,
+			L3:        cache.Config{Name: "L3", Size: 8 << 20, Ways: 16, LineSize: 64, HitLatency: 42},
+			ITLB:      cache.TLBConfig{Name: "I-TLB", Entries: 64, Ways: 8},
+			DTLB:      cache.TLBConfig{Name: "D-TLB", Entries: 64, Ways: 4},
+			L2TLB:     cache.TLBConfig{Name: "L2-TLB", Entries: 1024, Ways: 8},
+			BTB:       cache.BTBConfig{Entries: 4096, Ways: 4, MispredictPenalty: 16},
+			BHB:       cache.BHBConfig{HistoryBits: 16, TableBits: 14, MispredictPenalty: 16},
+			DataPrefetch: cache.PrefetcherConfig{
+				// The Haswell L2 streamer's detector tracks more pages
+				// than it concurrently prefetches; a 64-entry table means
+				// the kernel's own switch-path traffic (~25 pages) does
+				// not churn the whole table — which is why its state
+				// survives domain switches and leaks (Table 3, protected
+				// L2 row).
+				Streams: 64, Degree: 8, Trigger: 4, LineSize: 64,
+			},
+			MemLatency:       230,
+			WritebackLatency: 8,
+			L2TLBHitLatency:  8,
+			MemJitter:        8,
+		},
+		RAMFrames:    32768, // 128 MiB simulated RAM
+		HasHWL1Flush: false,
+		TwoLevelIRQ:  true,
+	}
+}
+
+// Sabre returns the Arm platform of Table 1: i.MX 6Q (Cortex-A9),
+// 4 cores, 0.8 GHz, 32 KiB 4-way L1s, shared 1 MiB 16-way L2 as the LLC,
+// 32 B lines, low-associativity TLBs.
+func Sabre() Platform {
+	return Platform{
+		Name:    "Sabre (Arm v7)",
+		Arch:    "arm",
+		ClockHz: 0.8e9,
+		Cores:   4,
+		Hierarchy: cache.HierarchyConfig{
+			Cores:     4,
+			L1D:       cache.Config{Name: "L1-D", Size: 32 << 10, Ways: 4, LineSize: 32, HitLatency: 4, Virtual: true},
+			L1I:       cache.Config{Name: "L1-I", Size: 32 << 10, Ways: 4, LineSize: 32, HitLatency: 4, Virtual: true},
+			L2:        cache.Config{Name: "L2", Size: 1 << 20, Ways: 16, LineSize: 32, HitLatency: 28},
+			L2Private: false,
+			ITLB:      cache.TLBConfig{Name: "I-TLB", Entries: 32, Ways: 1},
+			DTLB:      cache.TLBConfig{Name: "D-TLB", Entries: 32, Ways: 1},
+			L2TLB:     cache.TLBConfig{Name: "L2-TLB", Entries: 128, Ways: 2},
+			BTB:       cache.BTBConfig{Entries: 512, Ways: 2, MispredictPenalty: 12},
+			BHB:       cache.BHBConfig{HistoryBits: 12, TableBits: 12, MispredictPenalty: 12},
+			DataPrefetch: cache.PrefetcherConfig{
+				// The A9's PLD-style prefetcher is far less aggressive.
+				Streams: 8, Degree: 4, Trigger: 4, LineSize: 32,
+			},
+			MemLatency:       120,
+			WritebackLatency: 6,
+			L2TLBHitLatency:  6,
+			MemJitter:        6,
+		},
+		RAMFrames:    16384, // 64 MiB simulated RAM
+		HasHWL1Flush: true,
+		TwoLevelIRQ:  false,
+	}
+}
+
+// HaswellSMT returns the Haswell with hyperthreading enabled: 8 logical
+// cores where logical i and i+4 share all on-core state. The paper's
+// threat models assume SMT is disabled or same-domain (§3.1.2) because
+// the channels between hyperthreads are inherent; this configuration
+// exists to demonstrate that.
+func HaswellSMT() Platform {
+	p := Haswell()
+	p.Name = "Haswell (x86, SMT)"
+	p.Cores = 8
+	p.Hierarchy.Cores = 8
+	p.Hierarchy.SMTPairs = true
+	return p
+}
+
+// PlatformByName returns a platform by short name ("haswell"/"sabre").
+func PlatformByName(name string) (Platform, bool) {
+	switch name {
+	case "haswell", "x86":
+		return Haswell(), true
+	case "sabre", "arm":
+		return Sabre(), true
+	}
+	return Platform{}, false
+}

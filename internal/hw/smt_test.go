@@ -1,0 +1,57 @@
+package hw
+
+import "testing"
+
+func TestHaswellSMTTopology(t *testing.T) {
+	p := HaswellSMT()
+	if p.Cores != 8 || !p.Hierarchy.SMTPairs {
+		t.Fatalf("SMT platform malformed: %+v", p)
+	}
+	m := NewMachine(p)
+	// Logical cores i and i+4 share every piece of on-core state.
+	for i := 0; i < 4; i++ {
+		if m.Hier.L1D(i) != m.Hier.L1D(i+4) {
+			t.Errorf("logical %d and %d have distinct L1-D", i, i+4)
+		}
+		if m.Hier.DTLBOf(i) != m.Hier.DTLBOf(i+4) {
+			t.Errorf("logical %d and %d have distinct D-TLB", i, i+4)
+		}
+		if m.Hier.BTBOf(i) != m.Hier.BTBOf(i+4) {
+			t.Errorf("logical %d and %d have distinct BTB", i, i+4)
+		}
+		if m.Hier.PrefetcherOf(i) != m.Hier.PrefetcherOf(i+4) {
+			t.Errorf("logical %d and %d have distinct prefetcher", i, i+4)
+		}
+		if m.Hier.L2For(i) != m.Hier.L2For(i+4) {
+			t.Errorf("logical %d and %d have distinct L2", i, i+4)
+		}
+	}
+	// Different physical cores stay distinct.
+	if m.Hier.L1D(0) == m.Hier.L1D(1) {
+		t.Error("distinct physical cores share an L1-D")
+	}
+}
+
+func TestSMTSiblingSeesFootprint(t *testing.T) {
+	m := NewMachine(HaswellSMT())
+	// A line loaded by logical core 0 hits for its sibling (4) but not
+	// for an unrelated core (1): the concurrent-sharing property that
+	// makes hyperthread channels inherent.
+	m.PhysLoad(0, 0x4000)
+	cold := m.PhysLoad(1, 0x8000)
+	sib := m.PhysLoad(4, 0x4000)
+	if sib >= cold {
+		t.Fatalf("sibling load (%d) should hit shared L1, unrelated cold load was %d", sib, cold)
+	}
+}
+
+func TestSMTRequiresEvenCores(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("odd SMT core count must panic")
+		}
+	}()
+	p := HaswellSMT()
+	p.Hierarchy.Cores = 7
+	NewMachine(p)
+}

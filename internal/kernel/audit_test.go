@@ -1,0 +1,62 @@
+package kernel
+
+import (
+	"testing"
+
+	"timeprotection/internal/hw"
+)
+
+func TestColourAuditCleanPartition(t *testing.T) {
+	k, procs := twoDomains(t, hw.Haswell(), ScenarioProtected)
+	for i := range procs {
+		if _, err := k.MapUserBuffer(procs[i], 0x400000, 8); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.NewThread(procs[i], "t", 10, i, &counter{base: 0x400000, limit: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runFor(k, 0, 4*testSlice)
+	violations := k.AuditColourIsolation(procs[:])
+	if len(violations) != 0 {
+		t.Fatalf("clean partition reported violations: %v", violations)
+	}
+}
+
+func TestColourAuditDetectsForeignMapping(t *testing.T) {
+	k, procs := twoDomains(t, hw.Haswell(), ScenarioProtected)
+	// Smuggle a frame of domain 1's colours into domain 0's AS.
+	foreign, err := procs[1].Pool.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := procs[0].AS.Map(0x600000, foreign, false); err != nil {
+		t.Fatal(err)
+	}
+	violations := k.AuditColourIsolation(procs[:])
+	if len(violations) == 0 {
+		t.Fatal("foreign mapping not detected")
+	}
+	found := false
+	for _, v := range violations {
+		if v.What == "address-space" && v.Frame == foreign {
+			found = true
+			if v.String() == "" {
+				t.Error("empty violation string")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("violation list %v misses the smuggled frame", violations)
+	}
+}
+
+func TestColourAuditSkipsUnrestricted(t *testing.T) {
+	k, procs := twoDomains(t, hw.Haswell(), ScenarioRaw)
+	if _, err := k.MapUserBuffer(procs[0], 0x400000, 4); err != nil {
+		t.Fatal(err)
+	}
+	if v := k.AuditColourIsolation(procs[:]); len(v) != 0 {
+		t.Fatalf("raw (unrestricted) processes must not be audited: %v", v)
+	}
+}

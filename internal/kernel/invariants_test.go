@@ -1,0 +1,175 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/memory"
+)
+
+// chaosProgram performs a random mix of loads, syscalls, sleeps and
+// exits, driven by a deterministic rng — a fuzzer for the scheduler and
+// syscall paths.
+type chaosProgram struct {
+	rng   *rand.Rand
+	nSlot int
+	tSlot int
+	base  uint64
+	steps int
+}
+
+func (p *chaosProgram) Step(e *Env) bool {
+	p.steps++
+	switch p.rng.Intn(10) {
+	case 0:
+		e.Signal(p.nSlot)
+	case 1:
+		e.Poll(p.nSlot)
+	case 2:
+		e.SetPriority(p.tSlot, 5+p.rng.Intn(20))
+	case 3:
+		e.Yield()
+	case 4:
+		e.SleepRest()
+	case 5:
+		e.Spin(500 + p.rng.Intn(2000))
+	case 6:
+		if p.rng.Intn(4) == 0 {
+			return false // exit
+		}
+		e.Load(p.base + uint64(p.rng.Intn(256))*64)
+	default:
+		for i := 0; i < 8; i++ {
+			e.Load(p.base + uint64(p.rng.Intn(256))*64)
+		}
+	}
+	return p.steps < 400
+}
+
+// checkInvariants asserts the kernel's structural invariants.
+func checkInvariants(t *testing.T, k *Kernel, seed int64) {
+	t.Helper()
+	running := map[*TCB]bool{}
+	for c := range k.cores {
+		if cur := k.CurrentThread(c); cur != nil {
+			if cur.State != StateRunning {
+				t.Fatalf("seed %d: current thread %v not Running", seed, cur)
+			}
+			if running[cur] {
+				t.Fatalf("seed %d: thread %v current on two cores", seed, cur)
+			}
+			running[cur] = true
+		}
+		// The current image's runningOn bit covers this core.
+		img := k.CurrentImage(c)
+		if img.RunningOn()&(1<<uint(c)) == 0 && k.CurrentThread(c) != nil {
+			t.Fatalf("seed %d: core %d image #%d runningOn bit clear", seed, c, img.ID)
+		}
+	}
+	for _, tcb := range k.Threads() {
+		switch tcb.State {
+		case StateRunning:
+			if !running[tcb] {
+				t.Fatalf("seed %d: %v Running but not current anywhere", seed, tcb)
+			}
+		case StateReady, StateBlockedRecv, StateBlockedReply, StateDone, StateSuspended:
+			if running[tcb] {
+				t.Fatalf("seed %d: %v current but state %v", seed, tcb, tcb.State)
+			}
+		default:
+			t.Fatalf("seed %d: %v in invalid state %d", seed, tcb, tcb.State)
+		}
+	}
+	// Clocks are monotone (trivially true) and positive after a run.
+	for c, cs := range k.cores {
+		if cs.nextTick == 0 {
+			t.Fatalf("seed %d: core %d has no scheduled tick", seed, c)
+		}
+	}
+}
+
+// TestPropertyKernelInvariantsUnderChaos runs randomized workloads under
+// every scenario and checks the invariants afterwards.
+func TestPropertyKernelInvariantsUnderChaos(t *testing.T) {
+	f := func(seedRaw uint16, scRaw uint8) bool {
+		seed := int64(seedRaw) + 1
+		sc := Scenario(scRaw % 3)
+		k, procs := twoDomains(t, hw.Haswell(), sc)
+		for i, p := range procs {
+			if _, err := k.MapUserBuffer(p, 0x400000, 4); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < 2; j++ {
+				prog := &chaosProgram{rng: rand.New(rand.NewSource(seed + int64(i*2+j))), base: 0x400000}
+				tcb, err := k.NewThread(p, "chaos", 10, i, prog)
+				if err != nil {
+					t.Fatal(err)
+				}
+				n, err := k.NewNotification(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				prog.nSlot = p.CSpace.Install(Capability{Type: CapNotification, Rights: RightRead | RightWrite, Obj: n})
+				prog.tSlot = p.CSpace.Install(Capability{Type: CapTCB, Rights: RightWrite, Obj: tcb})
+			}
+		}
+		runFor(k, 0, 30*testSlice)
+		checkInvariants(t, k, seed)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMulticoreDestroyWhileRunning exercises the §4.4 system_stall path:
+// an image actively running on three other cores is destroyed from core
+// 0, and every core falls back to the boot kernel's idle thread.
+func TestMulticoreDestroyWhileRunning(t *testing.T) {
+	k := bootKernel(t, hw.Haswell(), ScenarioProtected)
+	split := memory.SplitColours(hw.Haswell().Colours(), 2)
+	pool := memory.NewPool(k.M.Alloc, split[0])
+	km, err := k.NewKernelMemory(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := k.Clone(0, k.BootImage(), km)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := k.NewProcess("victim", pool, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.MapUserBuffer(p, 0x400000, 4); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := k.NewThread(p, "w", 10, 0, &counter{base: 0x400000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Spin the victim's threads up on cores 1-3.
+	k.RunCores([]int{1, 2, 3}, 2*testSlice)
+	if img.RunningOn() == 0 {
+		t.Fatal("victim image not running anywhere")
+	}
+	if err := k.DestroyImage(0, img); err != nil {
+		t.Fatal(err)
+	}
+	if img.RunningOn() != 0 {
+		t.Fatalf("runningOn = %b after destruction", img.RunningOn())
+	}
+	for c := 1; c <= 3; c++ {
+		if k.CurrentImage(c) != k.BootImage() {
+			t.Fatalf("core %d not parked on the boot kernel", c)
+		}
+		if cur := k.CurrentThread(c); cur != nil && cur.Image == img {
+			t.Fatalf("core %d still runs a destroyed-image thread", c)
+		}
+	}
+	// The machine stays serviceable.
+	k.RunCores([]int{0, 1, 2, 3}, k.M.Cores[0].Now+4*testSlice)
+}

@@ -1,0 +1,69 @@
+package kernel
+
+import (
+	"testing"
+
+	"timeprotection/internal/hw"
+)
+
+// A budget-limited thread must not exceed its CPU share even with the
+// core otherwise idle — the temporal-integrity guarantee of the MCS
+// scheduling contexts the paper's §8 points to.
+func TestSchedContextEnforcesBudget(t *testing.T) {
+	k, procs := twoDomains(t, hw.Haswell(), ScenarioRaw)
+	limited := &counter{base: 0x400000}
+	tcb := mustThread(t, k, procs[0], "limited", 10, 0, limited)
+	tcb.SC = &SchedContext{BudgetCycles: testSlice / 4, PeriodCycles: testSlice}
+
+	free := &counter{base: 0x400000}
+	mustThread(t, k, procs[0], "free", 5, 0, free)
+
+	runFor(k, 0, 20*testSlice)
+	if limited.steps == 0 || free.steps == 0 {
+		t.Fatalf("both threads must run: limited=%d free=%d", limited.steps, free.steps)
+	}
+	// The limited thread holds ~25% of the CPU, the lower-priority free
+	// thread soaks up the rest — so it must do roughly 3x the work.
+	ratio := float64(free.steps) / float64(limited.steps)
+	if ratio < 1.8 {
+		t.Errorf("budget not enforced: free/limited step ratio = %.2f, want >= 1.8", ratio)
+	}
+}
+
+// Budgets replenish each period: the thread keeps making progress across
+// periods rather than stopping at the first exhaustion.
+func TestSchedContextReplenishes(t *testing.T) {
+	k, procs := twoDomains(t, hw.Haswell(), ScenarioRaw)
+	limited := &counter{base: 0x400000}
+	tcb := mustThread(t, k, procs[0], "limited", 10, 0, limited)
+	tcb.SC = &SchedContext{BudgetCycles: testSlice / 8, PeriodCycles: testSlice}
+
+	runFor(k, 0, 4*testSlice)
+	early := limited.steps
+	if early == 0 {
+		t.Fatal("no progress in early periods")
+	}
+	runFor(k, 0, 8*testSlice)
+	if limited.steps <= early {
+		t.Fatal("budget never replenished")
+	}
+}
+
+// An exhausted context leaves the core idle rather than letting the
+// thread overrun (no work-conserving leak of its budget).
+func TestSchedContextThrottlesToIdle(t *testing.T) {
+	k, procs := twoDomains(t, hw.Haswell(), ScenarioRaw)
+	limited := &counter{base: 0x400000}
+	tcb := mustThread(t, k, procs[0], "only", 10, 0, limited)
+	tcb.SC = &SchedContext{BudgetCycles: testSlice / 10, PeriodCycles: testSlice}
+	runFor(k, 0, 10*testSlice)
+	// With a 10% budget and nothing else runnable, the thread's step
+	// count is bounded well below a free run's.
+	freeK, freeProcs := twoDomains(t, hw.Haswell(), ScenarioRaw)
+	freeProg := &counter{base: 0x400000}
+	mustThread(t, freeK, freeProcs[0], "free", 10, 0, freeProg)
+	runFor(freeK, 0, 10*testSlice)
+	if limited.steps*4 > freeProg.steps {
+		t.Errorf("throttling too weak: limited=%d vs free=%d", limited.steps, freeProg.steps)
+	}
+}

@@ -1,0 +1,118 @@
+package kernel
+
+import (
+	"testing"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/memory"
+)
+
+func TestWaitConsumesPendingSignal(t *testing.T) {
+	k, procs := twoDomains(t, hw.Haswell(), ScenarioRaw)
+	n, _ := k.NewNotification(procs[0])
+	slot := procs[0].CSpace.Install(Capability{Type: CapNotification, Rights: RightRead | RightWrite, Obj: n})
+	order := []string{}
+	mustThread(t, k, procs[0], "w", 10, 0, ProgramFunc(func(e *Env) bool {
+		e.Signal(slot)
+		e.Wait(slot) // word already set: must not block
+		order = append(order, "after-wait")
+		return false
+	}))
+	runFor(k, 0, 10*testSlice)
+	if len(order) != 1 {
+		t.Fatal("Wait on a pending notification blocked")
+	}
+	if n.Word != 0 {
+		t.Fatalf("word = %d after consuming Wait, want 0", n.Word)
+	}
+}
+
+func TestWaitBlocksUntilSignalled(t *testing.T) {
+	k, procs := twoDomains(t, hw.Haswell(), ScenarioRaw)
+	n, _ := k.NewNotification(procs[0])
+	wSlot := procs[0].CSpace.Install(Capability{Type: CapNotification, Rights: RightRead | RightWrite, Obj: n})
+	sSlot := procs[1].CSpace.Install(Capability{Type: CapNotification, Rights: RightRead | RightWrite, Obj: n})
+
+	var woke bool
+	waiterPhase := 0
+	waiter := ProgramFunc(func(e *Env) bool {
+		switch waiterPhase {
+		case 0:
+			waiterPhase = 1
+			e.Wait(wSlot) // blocks: no signal yet
+			return true
+		default:
+			woke = true
+			return false
+		}
+	})
+	signalled := false
+	signaller := ProgramFunc(func(e *Env) bool {
+		if signalled {
+			e.Spin(1000)
+			return true
+		}
+		signalled = true
+		e.Signal(sSlot)
+		return true
+	})
+	// Waiter at higher priority: it must run first and block.
+	mustThread(t, k, procs[0], "waiter", 20, 0, waiter)
+	mustThread(t, k, procs[1], "signaller", 10, 1, signaller)
+	runFor(k, 0, 10*testSlice)
+	if !woke {
+		t.Fatal("waiter never woke after signal")
+	}
+	if n.waiter != nil {
+		t.Fatal("waiter still registered")
+	}
+}
+
+func TestRetypeProducesUsableKernelMemory(t *testing.T) {
+	k, procs := twoDomains(t, hw.Haswell(), ScenarioProtected)
+	// Hand domain 0 an Untyped region from its own pool.
+	frames, err := procs[0].Pool.AllocN(96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ut := memory.NewUntyped(frames)
+	utSlot := procs[0].CSpace.Install(Capability{Type: CapUntyped, Rights: RightRead | RightWrite, Obj: ut})
+	imgSlot := k.GrantBootImageCap(procs[0])
+
+	var newImg int
+	var retErr, cloneErr error
+	mustThread(t, k, procs[0], "init", 10, 0, ProgramFunc(func(e *Env) bool {
+		var kmSlot int
+		kmSlot, retErr = e.Retype(utSlot)
+		if retErr != nil {
+			return false
+		}
+		newImg, cloneErr = e.KernelClone(imgSlot, kmSlot)
+		return false
+	}))
+	runFor(k, 0, 200*testSlice)
+	if retErr != nil || cloneErr != nil {
+		t.Fatalf("retype/clone failed: %v / %v", retErr, cloneErr)
+	}
+	if _, err := procs[0].CSpace.Lookup(newImg, CapKernelImage, RightClone); err != nil {
+		t.Fatal(err)
+	}
+	if ut.Remaining() >= 96 {
+		t.Fatal("untyped not consumed")
+	}
+}
+
+func TestRetypeInsufficientUntyped(t *testing.T) {
+	k, procs := twoDomains(t, hw.Haswell(), ScenarioRaw)
+	ut := memory.NewUntyped([]memory.PFN{1, 2, 3})
+	utSlot := procs[0].CSpace.Install(Capability{Type: CapUntyped, Rights: RightWrite, Obj: ut})
+	var err error
+	mustThread(t, k, procs[0], "init", 10, 0, ProgramFunc(func(e *Env) bool {
+		_, err = e.Retype(utSlot)
+		return false
+	}))
+	runFor(k, 0, 10*testSlice)
+	if err == nil {
+		t.Fatal("retype from a too-small untyped must fail")
+	}
+}

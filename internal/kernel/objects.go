@@ -1,0 +1,176 @@
+package kernel
+
+import (
+	"fmt"
+
+	"timeprotection/internal/memory"
+)
+
+// ThreadState is a TCB scheduling state.
+type ThreadState uint8
+
+// Thread states.
+const (
+	StateInactive ThreadState = iota
+	StateReady
+	StateRunning
+	StateBlockedRecv  // waiting on an endpoint
+	StateBlockedReply // waiting for the server's reply
+	StateDone         // program finished
+	StateSuspended    // e.g. its kernel image was destroyed
+)
+
+var threadStateNames = [...]string{
+	"Inactive", "Ready", "Running", "BlockedRecv", "BlockedReply", "Done", "Suspended",
+}
+
+func (s ThreadState) String() string {
+	if int(s) < len(threadStateNames) {
+		return threadStateNames[s]
+	}
+	return fmt.Sprintf("ThreadState(%d)", uint8(s))
+}
+
+// Process is a user protection domain: an address space, a capability
+// space and the memory pool both draw from. Kernel metadata for the
+// process (TCBs, endpoints, the cap store) is carved out of pool frames,
+// so in a coloured system it is coloured with the process (Figure 2).
+type Process struct {
+	Name   string
+	AS     *memory.AddressSpace
+	Pool   *memory.Pool
+	CSpace CSpace
+	Image  *Image // the kernel serving this process's system calls
+
+	// Object arena: frames backing kernel objects created on behalf of
+	// this process.
+	arenaFrames []memory.PFN
+	arenaUsed   uint64 // bytes used in the last frame
+
+	// cnodeAddr is the physical address of the capability store; cap
+	// lookups charge an access to slot's entry there.
+	cnodeAddr uint64
+}
+
+// allocObj carves size bytes (64-byte aligned) of kernel-object storage
+// out of the process's pool and returns its physical address.
+func (p *Process) allocObj(size uint64) (uint64, error) {
+	size = (size + 63) &^ 63
+	if len(p.arenaFrames) == 0 || p.arenaUsed+size > memory.PageSize {
+		f, err := p.Pool.Alloc()
+		if err != nil {
+			return 0, fmt.Errorf("object arena: %w", err)
+		}
+		p.arenaFrames = append(p.arenaFrames, f)
+		p.arenaUsed = 0
+	}
+	addr := p.arenaFrames[len(p.arenaFrames)-1].Addr() + p.arenaUsed
+	p.arenaUsed += size
+	return addr, nil
+}
+
+// Program is user code: a state machine the kernel steps while its
+// thread is current. Step performs a small bounded amount of work
+// through env and returns false when the program has finished. A program
+// that blocks in a syscall must return from Step promptly (the kernel
+// has already switched to another thread).
+type Program interface {
+	Step(e *Env) bool
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(e *Env) bool
+
+// Step implements Program.
+func (f ProgramFunc) Step(e *Env) bool { return f(e) }
+
+// TCB is a thread control block. ObjAddr is the physical address of the
+// kernel object backing it; the kernel touches it on every operation
+// involving the thread, so TCB placement (coloured pool vs shared) has
+// its true cache footprint.
+type TCB struct {
+	Name    string
+	Proc    *Process
+	Prio    int
+	Domain  int // security domain, for scenario bookkeeping
+	Image   *Image
+	State   ThreadState
+	Program Program
+	ObjAddr uint64
+
+	// IPC state.
+	waitingOn    *Endpoint
+	replyTo      *TCB
+	waitingNotif *Notification
+
+	// sleepUntil makes the thread unrunnable until the given cycle time
+	// (voluntary sleep for the rest of a slice).
+	sleepUntil uint64
+
+	// SC is the thread's scheduling context (nil = best-effort round
+	// robin). The paper names integration with the MCS scheduling-
+	// context mechanisms [Lyons et al. 2018] as future work; this slim
+	// version enforces a budget per period so a thread's CPU *time* is
+	// bounded the way its memory is.
+	SC *SchedContext
+
+	isIdle bool
+}
+
+// SchedContext is a minimal MCS-style scheduling context: the thread may
+// consume BudgetCycles of CPU within each PeriodCycles window; once the
+// budget is spent it is throttled until the period rolls over.
+type SchedContext struct {
+	BudgetCycles uint64
+	PeriodCycles uint64
+
+	periodStart uint64
+	consumed    uint64
+}
+
+// charge books `used` cycles against the context at time now, rolling
+// the period forward as needed. It reports whether budget remains.
+func (sc *SchedContext) charge(now, used uint64) bool {
+	sc.rollover(now)
+	sc.consumed += used
+	return sc.consumed < sc.BudgetCycles
+}
+
+// exhausted reports whether the context is throttled at time now.
+func (sc *SchedContext) exhausted(now uint64) bool {
+	sc.rollover(now)
+	return sc.consumed >= sc.BudgetCycles
+}
+
+func (sc *SchedContext) rollover(now uint64) {
+	if sc.PeriodCycles == 0 {
+		return
+	}
+	if now-sc.periodStart >= sc.PeriodCycles {
+		sc.periodStart = now - (now-sc.periodStart)%sc.PeriodCycles
+		sc.consumed = 0
+	}
+}
+
+func (t *TCB) String() string {
+	if t == nil {
+		return "<nil tcb>"
+	}
+	return fmt.Sprintf("%s(%v)", t.Name, t.State)
+}
+
+// Endpoint is a synchronous IPC rendezvous point.
+type Endpoint struct {
+	ObjAddr uint64
+	// queues of receivers and senders blocked on this endpoint
+	recvQueue []*TCB
+	sendQueue []*TCB
+}
+
+// Notification is an asynchronous signalling object (a binary/counting
+// semaphore word) with at most one blocked waiter.
+type Notification struct {
+	ObjAddr uint64
+	Word    uint64
+	waiter  *TCB
+}

@@ -1,0 +1,235 @@
+package kernel
+
+import (
+	"testing"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/memory"
+)
+
+// cloneChain builds boot -> a -> b (b cloned from a) and returns them.
+func cloneChain(t *testing.T) (*Kernel, *Image, *Image) {
+	t.Helper()
+	k := bootKernel(t, hw.Haswell(), ScenarioProtected)
+	split := memory.SplitColours(hw.Haswell().Colours(), 2)
+	poolA := memory.NewPool(k.M.Alloc, split[0])
+	kmA, err := k.NewKernelMemory(poolA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := k.Clone(0, k.BootImage(), kmA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nested partition: domain A sub-divides its colours and clones a
+	// child kernel from ITS image (§3.3).
+	subPools, err := poolA.Subdivide(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmB, err := k.NewKernelMemory(subPools[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Clone(0, a, kmB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, a, b
+}
+
+func TestCloneGenealogy(t *testing.T) {
+	k, a, b := cloneChain(t)
+	if a.Parent() != k.BootImage() {
+		t.Error("a's parent should be the boot image")
+	}
+	if b.Parent() != a {
+		t.Error("b's parent should be a")
+	}
+	if len(a.Children()) != 1 || a.Children()[0] != b {
+		t.Errorf("a.Children() = %v", a.Children())
+	}
+}
+
+func TestRevokeDestroysSubtree(t *testing.T) {
+	k, a, b := cloneChain(t)
+	if err := k.RevokeImage(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Zombie() || !b.Zombie() {
+		t.Fatal("revocation must destroy the whole clone subtree")
+	}
+	if k.BootImage().Zombie() {
+		t.Fatal("boot image destroyed")
+	}
+	if len(k.BootImage().Children()) != 0 {
+		t.Fatal("boot image still lists destroyed children")
+	}
+}
+
+func TestRevokeBootImageKeepsKernelAlive(t *testing.T) {
+	k, a, b := cloneChain(t)
+	if err := k.RevokeImage(0, k.BootImage()); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Zombie() || !b.Zombie() {
+		t.Fatal("revoking the master capability must destroy all clones")
+	}
+	if k.BootImage().Zombie() {
+		t.Fatal("the boot image itself must survive (idle-thread invariant)")
+	}
+	// The system still runs (acknowledging ticks on the boot idle thread).
+	runFor(k, 0, 4*testSlice)
+}
+
+func TestRevokeIdempotent(t *testing.T) {
+	k, a, _ := cloneChain(t)
+	if err := k.RevokeImage(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.RevokeImage(0, a); err != nil {
+		t.Fatal("revoking an already-zombie subtree must be a no-op")
+	}
+}
+
+func TestNestedCloneServesSyscalls(t *testing.T) {
+	k, _, b := cloneChain(t)
+	// A process bound to the grandchild kernel works normally.
+	pool := memory.NewPool(k.M.Alloc, nil)
+	p, err := k.NewProcess("nested", pool, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := k.NewNotification(p)
+	slot := p.CSpace.Install(Capability{Type: CapNotification, Rights: RightRead | RightWrite, Obj: n})
+	done := false
+	mustThread(t, k, p, "t", 10, 0, ProgramFunc(func(e *Env) bool {
+		e.Signal(slot)
+		done = true
+		return false
+	}))
+	runFor(k, 0, 10*testSlice)
+	if !done || n.Word != 1 {
+		t.Fatal("syscall on nested clone failed")
+	}
+}
+
+func TestTransferColourRepartitions(t *testing.T) {
+	a := memory.NewFrameAllocator(0, 64, 8)
+	split := memory.SplitColours(8, 2)
+	p, q := memory.NewPool(a, split[0]), memory.NewPool(a, split[1])
+	if err := p.TransferColour(3, q); err != nil {
+		t.Fatal(err)
+	}
+	if p.HasColour(3) {
+		t.Error("colour 3 still in source pool")
+	}
+	if !q.HasColour(3) {
+		t.Error("colour 3 not in destination pool")
+	}
+	// Future allocations respect the new partition.
+	for i := 0; i < 12; i++ {
+		f, err := q.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := memory.ColourOf(f, 8)
+		if c < 3 {
+			t.Fatalf("destination pool allocated colour %d", c)
+		}
+	}
+	// Error paths.
+	if err := p.TransferColour(3, q); err == nil {
+		t.Error("transferring a colour the pool lacks must fail")
+	}
+	if err := p.TransferColour(0, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TransferColour(1, q); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.TransferColour(2, q); err == nil {
+		t.Error("a pool must keep its last colour")
+	}
+}
+
+// The paper's §2.4 vignette: the initial process partitions the system
+// and "commits suicide"; the partition must persist without it.
+func TestInitSuicideLeavesPartitionStanding(t *testing.T) {
+	k := bootKernel(t, hw.Haswell(), ScenarioProtected)
+	split := memory.SplitColours(hw.Haswell().Colours(), 2)
+	initPool := memory.NewPool(k.M.Alloc, nil)
+	initProc, err := k.NewProcess("init", initPool, k.BootImage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgSlot := k.GrantBootImageCap(initProc)
+
+	// Hand init two coloured untyped regions.
+	var utSlots [2]int
+	var childPools [2]*memory.Pool
+	for i := range utSlots {
+		childPools[i] = memory.NewPool(k.M.Alloc, split[i])
+		frames, err := childPools[i].AllocN(96)
+		if err != nil {
+			t.Fatal(err)
+		}
+		utSlots[i] = initProc.CSpace.Install(Capability{
+			Type: CapUntyped, Rights: RightRead | RightWrite, Obj: memory.NewUntyped(frames),
+		})
+	}
+
+	var childImages [2]*Image
+	initDone := false
+	init := ProgramFunc(func(e *Env) bool {
+		for i := range utSlots {
+			kmSlot, err := e.Retype(utSlots[i])
+			if err != nil {
+				t.Errorf("retype %d: %v", i, err)
+				return false
+			}
+			imgIdx, err := e.KernelClone(imgSlot, kmSlot)
+			if err != nil {
+				t.Errorf("clone %d: %v", i, err)
+				return false
+			}
+			c, _ := initProc.CSpace.Lookup(imgIdx, CapKernelImage, RightRead)
+			childImages[i] = c.Obj.(*Image)
+		}
+		initDone = true
+		return false // suicide
+	})
+	if _, err := k.NewThread(initProc, "init", 10, 0, init); err != nil {
+		t.Fatal(err)
+	}
+	runFor(k, 0, 400*testSlice)
+	if !initDone {
+		t.Fatal("init did not finish partitioning")
+	}
+
+	// Init is gone; children created on the surviving partition work.
+	for i, img := range childImages {
+		p, err := k.NewProcess("child", childPools[i], img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.MapUserBuffer(p, 0x400000, 2); err != nil {
+			t.Fatal(err)
+		}
+		ran := false
+		if _, err := k.NewThread(p, "c", 10, i, ProgramFunc(func(e *Env) bool {
+			e.Load(0x400000)
+			ran = true
+			return false
+		})); err != nil {
+			t.Fatal(err)
+		}
+		runFor(k, 0, 6*testSlice)
+		if !ran {
+			t.Fatalf("child %d never ran after init's suicide", i)
+		}
+		if v := k.AuditColourIsolation([]*Process{p}); len(v) != 0 {
+			t.Fatalf("child %d partition violated: %v", i, v)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package kernel
+
+import (
+	"fmt"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/memory"
+)
+
+// The shared static kernel data that cloning cannot replicate: the
+// minimum state needed to hand the processor between kernels (paper
+// §4.1, ~9.5 KiB per core on x64). Offsets below lay the region out in
+// one contiguous block whose lines the domain-switch path prefetches
+// deterministically (Requirement 3).
+const (
+	sharedReadyQueues   = 0    // scheduler ready-queue head pointers (4 KiB)
+	sharedBitmap        = 4096 // priority bitmap (32 B)
+	sharedSchedDecision = 4128 // current scheduling decision (8 B)
+	sharedIRQState      = 4160 // IRQ state table (1.1 KiB)
+	sharedIRQHandlers   = 5312 // IRQ handler table (1.1 KiB)
+	sharedCurrentIRQ    = 6464 // interrupt currently being handled (8 B)
+	sharedASIDTable     = 6528 // first-level hardware ASID table (1.1 KiB)
+	sharedIOPort        = 7680 // IO port control table (x86 only, 2 KiB... truncated to fit)
+	sharedPointers      = 9472 // current thread/cspace/kernel/idle/FPU owner (40 B)
+	sharedLock          = 9536 // big kernel lock (8 B)
+	sharedBarrier       = 9544 // IPI barrier (8 B)
+	sharedSize          = 9728 // ~9.5 KiB total
+)
+
+// SharedRegion is the residual global kernel data shared by all kernel
+// images. It occupies dedicated physical frames outside every domain's
+// colour pool; access to it must be made deterministic by the
+// domain-switch prefetch.
+type SharedRegion struct {
+	frames []memory.PFN
+	base   uint64
+}
+
+func newSharedRegion(m *hw.Machine) (*SharedRegion, error) {
+	nFrames := (sharedSize + memory.PageSize - 1) / memory.PageSize
+	r := &SharedRegion{}
+	for i := 0; i < nFrames; i++ {
+		f, err := m.Alloc.AllocAny()
+		if err != nil {
+			return nil, fmt.Errorf("shared region: %w", err)
+		}
+		r.frames = append(r.frames, f)
+	}
+	r.base = r.frames[0].Addr()
+	return r, nil
+}
+
+// addr translates a region offset to a physical address. Frames are
+// physically contiguous in practice because they are the first boot
+// allocations, but we map offsets through the frame list to stay honest.
+func (r *SharedRegion) addr(off uint64) uint64 {
+	return r.frames[off/memory.PageSize].Addr() + off%memory.PageSize
+}
+
+// Size returns the region size in bytes.
+func (r *SharedRegion) Size() int { return sharedSize }
+
+// Lines returns every cache-line address of the region for the given
+// line size: the deterministic prefetch set of switch step 9.
+func (r *SharedRegion) Lines(lineSize int) []uint64 {
+	var out []uint64
+	for off := uint64(0); off < sharedSize; off += uint64(lineSize) {
+		out = append(out, r.addr(off))
+	}
+	return out
+}
+
+// ReadyQueueAddr returns the address of the ready-queue head for a
+// priority.
+func (r *SharedRegion) ReadyQueueAddr(prio int) uint64 {
+	return r.addr(sharedReadyQueues + uint64(prio)*16)
+}
+
+// BitmapAddr returns the address of the priority bitmap word covering a
+// priority.
+func (r *SharedRegion) BitmapAddr(prio int) uint64 {
+	return r.addr(sharedBitmap + uint64(prio/64)*8)
+}
+
+// SchedDecisionAddr returns the address of the current scheduling
+// decision.
+func (r *SharedRegion) SchedDecisionAddr() uint64 { return r.addr(sharedSchedDecision) }
+
+// IRQStateAddr returns the address of the state entry for an IRQ line.
+func (r *SharedRegion) IRQStateAddr(line int) uint64 {
+	return r.addr(sharedIRQState + uint64(line%64)*16)
+}
+
+// IRQHandlerAddr returns the address of the handler entry for a line.
+func (r *SharedRegion) IRQHandlerAddr(line int) uint64 {
+	return r.addr(sharedIRQHandlers + uint64(line%64)*16)
+}
+
+// CurrentIRQAddr returns the address of the current-IRQ word.
+func (r *SharedRegion) CurrentIRQAddr() uint64 { return r.addr(sharedCurrentIRQ) }
+
+// ASIDTableAddr returns the address of the ASID table entry for asid.
+func (r *SharedRegion) ASIDTableAddr(asid uint16) uint64 {
+	return r.addr(sharedASIDTable + uint64(asid%128)*8)
+}
+
+// PointersAddr returns the address of the current-thread pointer block.
+func (r *SharedRegion) PointersAddr() uint64 { return r.addr(sharedPointers) }
+
+// LockAddr returns the address of the big kernel lock.
+func (r *SharedRegion) LockAddr() uint64 { return r.addr(sharedLock) }
+
+// BarrierAddr returns the address of the IPI barrier.
+func (r *SharedRegion) BarrierAddr() uint64 { return r.addr(sharedBarrier) }
+
+// SharedDataAuditEntry describes one item of the shared region for the
+// §4.1 audit: when the kernel accesses it and whether any cache line of
+// it contains or is indexed by private user information.
+type SharedDataAuditEntry struct {
+	Name       string
+	Offset     uint64
+	Size       int
+	AccessedOn string // "context switch", "interrupt", "syscall"
+	UserSecret bool   // true would be an audit failure
+}
+
+// AuditSharedData returns the audit table of §4.1: every shared item,
+// when it is accessed, and that none is addressed through user-private
+// state. The invariant (no entry with UserSecret) is asserted by tests.
+func (r *SharedRegion) AuditSharedData() []SharedDataAuditEntry {
+	return []SharedDataAuditEntry{
+		{"ready-queue heads", sharedReadyQueues, 4096, "context switch", false},
+		{"priority bitmap", sharedBitmap, 32, "context switch", false},
+		{"scheduling decision", sharedSchedDecision, 8, "context switch", false},
+		{"IRQ state table", sharedIRQState, 1152, "interrupt", false},
+		{"IRQ handler table", sharedIRQHandlers, 1152, "interrupt", false},
+		{"current IRQ", sharedCurrentIRQ, 8, "interrupt", false},
+		{"ASID table", sharedASIDTable, 1152, "context switch", false},
+		{"IO port control (x86)", sharedIOPort, 1792, "syscall", false},
+		{"current thread/kernel pointers", sharedPointers, 40, "context switch", false},
+		{"big kernel lock", sharedLock, 8, "context switch", false},
+		{"IPI barrier", sharedBarrier, 8, "interrupt", false},
+	}
+}

@@ -1,0 +1,159 @@
+package kernel
+
+import (
+	"testing"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/memory"
+)
+
+// strictKernel boots a raw kernel with the static domain schedule.
+func strictKernel(t *testing.T) (*Kernel, [2]*Process) {
+	t.Helper()
+	k, err := Boot(hw.Haswell(), Config{
+		Scenario:        ScenarioRaw,
+		TimesliceCycles: testSlice,
+		StrictDomains:   true,
+		ScheduleDomains: []int{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var procs [2]*Process
+	for i := range procs {
+		p, err := k.NewProcess("dom", memory.NewPool(k.M.Alloc, nil), k.BootImage())
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i] = p
+	}
+	return k, procs
+}
+
+func TestStrictDomainsAlternateOnSchedule(t *testing.T) {
+	k, procs := strictKernel(t)
+	a := &counter{base: 0x400000}
+	b := &counter{base: 0x400000}
+	mustThread(t, k, procs[0], "a", 10, 0, a)
+	mustThread(t, k, procs[1], "b", 10, 1, b)
+	// Sample the running domain mid-slot over many slots: it must always
+	// match the time-derived schedule.
+	for slot := 0; slot < 12; slot++ {
+		target := uint64(slot)*testSlice + testSlice/2
+		k.RunCore(0, target)
+		cur := k.CurrentThread(0)
+		if cur == nil {
+			t.Fatalf("slot %d: core idle with runnable threads", slot)
+		}
+		want := slot % 2
+		if cur.Domain != want {
+			t.Fatalf("slot %d: domain %d running, schedule says %d", slot, cur.Domain, want)
+		}
+	}
+	if a.steps == 0 || b.steps == 0 {
+		t.Fatal("both domains must make progress")
+	}
+}
+
+// The security property work-conserving schedulers violate: a foreign
+// domain's slot is NEVER donated, even when its owner has nothing to run
+// (otherwise the spy could sense the trojan's load through its own extra
+// CPU time).
+func TestStrictDomainsNeverDonateSlots(t *testing.T) {
+	// Reference: domain 1 busy the whole time.
+	kRef, procsRef := strictKernel(t)
+	ref := &counter{base: 0x400000}
+	mustThread(t, kRef, procsRef[0], "a", 10, 0, ref)
+	mustThread(t, kRef, procsRef[1], "b", 10, 1, &counter{base: 0x400000})
+	kRef.RunCore(0, 8*testSlice)
+
+	// Probe: domain 1's only thread dies immediately, leaving its slots
+	// empty. Domain 0's progress must not change — empty foreign slots
+	// idle rather than being donated (donation would be a channel).
+	k, procs := strictKernel(t)
+	a := &counter{base: 0x400000}
+	mustThread(t, k, procs[0], "a", 10, 0, a)
+	mustThread(t, k, procs[1], "b", 10, 1, &counter{base: 0x400000, limit: 1})
+	k.RunCore(0, 8*testSlice)
+
+	if a.steps > ref.steps*11/10 {
+		t.Fatalf("domain 0 gained from domain 1's death: %d vs %d steps", a.steps, ref.steps)
+	}
+	// And during domain 1's (empty) slots the core idles.
+	k.RunCore(0, 9*testSlice+testSlice/2)
+	if cur := k.CurrentThread(0); cur != nil && cur.Domain == 0 {
+		// Slot 9 belongs to domain 1 (odd slot).
+		t.Fatalf("domain 0 thread running in domain 1's slot")
+	}
+}
+
+// Cross-core co-scheduling: at any sampled instant, both cores run the
+// same domain (§3.1.1's "at any time only one domain executes").
+func TestStrictDomainsCoSchedule(t *testing.T) {
+	k, procs := strictKernel(t)
+	mustThread(t, k, procs[0], "a0", 10, 0, &counter{base: 0x400000})
+	if _, err := k.MapUserBuffer(procs[0], 0x500000, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.NewThread(procs[0], "a1", 10, 0, &counter{base: 0x500000}); err != nil {
+		t.Fatal(err)
+	}
+	mustThread(t, k, procs[1], "b0", 10, 1, &counter{base: 0x400000})
+	if _, err := k.MapUserBuffer(procs[1], 0x500000, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.NewThread(procs[1], "b1", 10, 1, &counter{base: 0x500000}); err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 8; slot++ {
+		target := uint64(slot)*testSlice + testSlice/2
+		k.RunCores([]int{0, 1}, target)
+		d0, d1 := -1, -1
+		if cur := k.CurrentThread(0); cur != nil {
+			d0 = cur.Domain
+		}
+		if cur := k.CurrentThread(1); cur != nil {
+			d1 = cur.Domain
+		}
+		if d0 >= 0 && d1 >= 0 && d0 != d1 {
+			t.Fatalf("slot %d: cores run different domains concurrently (%d vs %d)", slot, d0, d1)
+		}
+	}
+}
+
+func TestSlotDomainSchedule(t *testing.T) {
+	k, err := Boot(hw.Haswell(), Config{
+		Scenario: ScenarioRaw, TimesliceCycles: testSlice,
+		StrictDomains: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := k.NewProcess("p", memory.NewPool(k.M.Alloc, nil), k.BootImage())
+	mustThread(t, k, p, "a", 10, 0, &counter{base: 0x400000})
+	if _, err := k.MapUserBuffer(p, 0x500000, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.NewThread(p, "b", 10, 3, &counter{base: 0x500000}); err != nil {
+		t.Fatal(err)
+	}
+	// No configured schedule: the rotation latches {0, 3} at first use
+	// and must not change when threads die afterwards.
+	if d, ok := k.slotDomain(0); !ok || d != 0 {
+		t.Fatalf("slot 0 domain = %d, %v", d, ok)
+	}
+	if d, _ := k.slotDomain(testSlice); d != 3 {
+		t.Fatalf("slot 1 domain = %d, want 3", d)
+	}
+	if d, _ := k.slotDomain(2 * testSlice); d != 0 {
+		t.Fatalf("slot 2 domain = %d, want 0", d)
+	}
+	for _, tcb := range k.Threads() {
+		if tcb.Domain == 3 {
+			tcb.State = StateDone
+		}
+	}
+	if d, _ := k.slotDomain(testSlice); d != 3 {
+		t.Fatal("schedule must not track thread liveness (that is a channel)")
+	}
+}

@@ -1,0 +1,120 @@
+package kernel
+
+import "fmt"
+
+// EventKind classifies a kernel trace event.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	EvTick EventKind = iota
+	EvDomainSwitch
+	EvKernelSwitch
+	EvFlush
+	EvIRQ
+	EvIRQDeferred
+	EvSyscall
+	EvClone
+	EvDestroy
+	EvPad
+)
+
+var eventNames = [...]string{
+	"tick", "domain-switch", "kernel-switch", "flush", "irq",
+	"irq-deferred", "syscall", "clone", "destroy", "pad",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one kernel trace record. A and B carry kind-specific detail
+// (domains for switches, the IRQ line, the syscall's text offset, image
+// IDs for clone/destroy, padded cycles).
+type Event struct {
+	Kind EventKind
+	Time uint64
+	Core uint8
+	A, B int
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("[%12d c%d] %-13s a=%d b=%d", e.Time, e.Core, e.Kind, e.A, e.B)
+}
+
+// Trace is a fixed-size ring buffer of kernel events. It exists for
+// debugging and the inspection tooling; recording costs no simulated
+// time (it is harness instrumentation, not kernel work).
+type Trace struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	total   uint64
+}
+
+// newTrace builds a ring of the given capacity (0 disables tracing).
+func newTrace(capacity int) *Trace {
+	if capacity <= 0 {
+		return &Trace{}
+	}
+	return &Trace{buf: make([]Event, capacity)}
+}
+
+// Enabled reports whether events are being recorded.
+func (t *Trace) Enabled() bool { return t != nil && len(t.buf) > 0 }
+
+// Record appends an event (no-op when disabled).
+func (t *Trace) Record(e Event) {
+	if !t.Enabled() {
+		return
+	}
+	t.total++
+	t.buf[t.next] = e
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Total returns the number of events ever recorded.
+func (t *Trace) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Snapshot returns the retained events, oldest first.
+func (t *Trace) Snapshot() []Event {
+	if !t.Enabled() {
+		return nil
+	}
+	var out []Event
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+	}
+	out = append(out, t.buf[:t.next]...)
+	return out
+}
+
+// Count returns how many retained events have the given kind.
+func (t *Trace) Count(kind EventKind) int {
+	n := 0
+	for _, e := range t.Snapshot() {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// trace is the kernel's convenience recorder.
+func (k *Kernel) trace(kind EventKind, core int, a, b int) {
+	if k.Trace.Enabled() {
+		k.Trace.Record(Event{Kind: kind, Time: k.M.Cores[core].Now, Core: uint8(core), A: a, B: b})
+	}
+}

@@ -1,0 +1,95 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/memory"
+)
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	k := bootKernel(t, hw.Haswell(), ScenarioRaw)
+	if k.Trace.Enabled() {
+		t.Fatal("trace should be disabled without TraceSize")
+	}
+	k.trace(EvTick, 0, 0, 0) // must not panic
+	if k.Trace.Total() != 0 || k.Trace.Snapshot() != nil {
+		t.Fatal("disabled trace recorded events")
+	}
+}
+
+func TestTraceRecordsKernelEvents(t *testing.T) {
+	k, err := Boot(hw.Haswell(), Config{
+		Scenario: ScenarioProtected, CloneSupport: true,
+		TimesliceCycles: testSlice, TraceSize: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := memory.SplitColours(hw.Haswell().Colours(), 2)
+	var procs [2]*Process
+	for i := range procs {
+		pool := memory.NewPool(k.M.Alloc, split[i])
+		km, err := k.NewKernelMemory(pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		img, err := k.Clone(0, k.BootImage(), km)
+		if err != nil {
+			t.Fatal(err)
+		}
+		procs[i], err = k.NewProcess("p", pool, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, _ := k.NewNotification(procs[0])
+	slot := procs[0].CSpace.Install(Capability{Type: CapNotification, Rights: RightRead | RightWrite, Obj: n})
+	mustThread(t, k, procs[0], "a", 10, 0, ProgramFunc(func(e *Env) bool {
+		e.Signal(slot)
+		e.Spin(1000)
+		return true
+	}))
+	mustThread(t, k, procs[1], "b", 10, 1, &counter{base: 0x400000})
+	runFor(k, 0, 6*testSlice)
+
+	if k.Trace.Count(EvClone) != 2 {
+		t.Errorf("clone events = %d, want 2", k.Trace.Count(EvClone))
+	}
+	for _, kind := range []EventKind{EvTick, EvDomainSwitch, EvKernelSwitch, EvFlush, EvSyscall} {
+		if k.Trace.Count(kind) == 0 {
+			t.Errorf("no %v events recorded", kind)
+		}
+	}
+	// Events are time-ordered within a core's stream.
+	var last uint64
+	for _, e := range k.Trace.Snapshot() {
+		if e.Core == 0 {
+			if e.Time < last {
+				t.Fatalf("trace not time-ordered: %v after %d", e, last)
+			}
+			last = e.Time
+		}
+	}
+	if !strings.Contains(k.Trace.Snapshot()[0].String(), "c0") {
+		t.Error("event String() missing core")
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	tr := newTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Kind: EvTick, Time: uint64(i)})
+	}
+	snap := tr.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length = %d, want 4", len(snap))
+	}
+	if snap[0].Time != 6 || snap[3].Time != 9 {
+		t.Fatalf("ring retained wrong window: %v", snap)
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+}

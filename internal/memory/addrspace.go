@@ -1,0 +1,168 @@
+package memory
+
+import "fmt"
+
+// pte is one page-table entry.
+type pte struct {
+	frame  PFN
+	global bool
+}
+
+// l2TableSpan is the number of pages covered by one second-level page
+// table (512 entries of 8 bytes in a 4 KiB frame, as on x86-64's last
+// level).
+const l2TableSpan = 512
+
+// AddressSpace is a two-level page table plus an ASID. Page-table frames
+// are allocated from the owning pool, so in a coloured system the
+// translation structures themselves are coloured — which is why
+// partitioning user memory "automatically partitions dynamic kernel
+// data" (paper §5.3.1) and defeats page-table side channels.
+type AddressSpace struct {
+	asid   uint16
+	pool   *Pool
+	root   PFN
+	tables map[uint64]PFN // top-level index -> second-level table frame
+	pages  map[uint64]pte // vpn -> entry
+}
+
+// NewAddressSpace creates an empty address space with the given ASID,
+// drawing its root page-table frame from pool.
+func NewAddressSpace(asid uint16, pool *Pool) (*AddressSpace, error) {
+	root, err := pool.Alloc()
+	if err != nil {
+		return nil, fmt.Errorf("address space root: %w", err)
+	}
+	return &AddressSpace{
+		asid:   asid,
+		pool:   pool,
+		root:   root,
+		tables: make(map[uint64]PFN),
+		pages:  make(map[uint64]pte),
+	}, nil
+}
+
+// ASID returns the address-space identifier.
+func (as *AddressSpace) ASID() uint16 { return as.asid }
+
+// Pool returns the pool backing this address space's metadata.
+func (as *AddressSpace) Pool() *Pool { return as.pool }
+
+// RootFrame returns the root page-table frame (tests, audits).
+func (as *AddressSpace) RootFrame() PFN { return as.root }
+
+// MappedPages returns the number of mapped pages.
+func (as *AddressSpace) MappedPages() int { return len(as.pages) }
+
+// Map installs a translation from the page containing vaddr to frame.
+// Global mappings survive per-ASID TLB flushes (kernel mappings in the
+// unmodified kernel). Second-level table frames are allocated lazily
+// from the pool.
+func (as *AddressSpace) Map(vaddr uint64, frame PFN, global bool) error {
+	vpn := vaddr >> PageBits
+	top := vpn / l2TableSpan
+	if _, ok := as.tables[top]; !ok {
+		f, err := as.pool.Alloc()
+		if err != nil {
+			return fmt.Errorf("page table for vpn %#x: %w", vpn, err)
+		}
+		as.tables[top] = f
+	}
+	as.pages[vpn] = pte{frame: frame, global: global}
+	return nil
+}
+
+// MapRange maps n consecutive pages starting at vaddr to the given
+// frames (len(frames) must be >= n).
+func (as *AddressSpace) MapRange(vaddr uint64, frames []PFN, global bool) error {
+	for i, f := range frames {
+		if err := as.Map(vaddr+uint64(i)*PageSize, f, global); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Unmap removes the translation for the page containing vaddr.
+func (as *AddressSpace) Unmap(vaddr uint64) {
+	delete(as.pages, vaddr>>PageBits)
+}
+
+// Translation is the result of a page-table walk.
+type Translation struct {
+	PAddr  uint64    // full physical address (frame base + offset)
+	Frame  PFN       // mapped frame
+	Global bool      // global mapping (kernel, unmodified configuration)
+	Walk   [2]uint64 // physical addresses of the two PTEs a walker loads
+}
+
+// Translate walks the page table for vaddr. The returned Walk addresses
+// are what a hardware walker would load; the machine layer issues them
+// as data accesses so that page-table placement (coloured or not) has
+// its real cache footprint.
+func (as *AddressSpace) Translate(vaddr uint64) (Translation, bool) {
+	vpn := vaddr >> PageBits
+	e, ok := as.pages[vpn]
+	if !ok {
+		return Translation{}, false
+	}
+	top := vpn / l2TableSpan
+	second := vpn % l2TableSpan
+	tbl := as.tables[top]
+	return Translation{
+		PAddr:  e.frame.Addr() | (vaddr & (PageSize - 1)),
+		Frame:  e.frame,
+		Global: e.global,
+		Walk: [2]uint64{
+			as.root.Addr() + (top%l2TableSpan)*8,
+			tbl.Addr() + second*8,
+		},
+	}, true
+}
+
+// Frames enumerates every physical frame the address space references:
+// the root table, second-level tables, and all mapped frames. Auditing
+// code uses it to verify colour discipline.
+func (as *AddressSpace) Frames() []PFN {
+	out := []PFN{as.root}
+	for _, f := range as.tables {
+		out = append(out, f)
+	}
+	for _, e := range as.pages {
+		out = append(out, e.frame)
+	}
+	return out
+}
+
+// Untyped is a region of physical frames not yet retyped into kernel or
+// user objects — the seL4 abstraction through which all memory reaches
+// the kernel. Retyping consumes frames monotonically; revoking the
+// untyped returns everything.
+type Untyped struct {
+	frames []PFN
+	used   int
+}
+
+// NewUntyped wraps frames as an untyped region.
+func NewUntyped(frames []PFN) *Untyped {
+	return &Untyped{frames: frames}
+}
+
+// Size returns the total number of frames.
+func (u *Untyped) Size() int { return len(u.frames) }
+
+// Remaining returns the number of frames not yet retyped.
+func (u *Untyped) Remaining() int { return len(u.frames) - u.used }
+
+// Retype consumes n frames from the region.
+func (u *Untyped) Retype(n int) ([]PFN, error) {
+	if u.Remaining() < n {
+		return nil, fmt.Errorf("%w: untyped has %d frames, need %d", ErrOutOfMemory, u.Remaining(), n)
+	}
+	out := u.frames[u.used : u.used+n]
+	u.used += n
+	return out, nil
+}
+
+// Reset reclaims all retyped frames (models revoking children).
+func (u *Untyped) Reset() { u.used = 0 }

@@ -1,0 +1,48 @@
+package memory_test
+
+import (
+	"fmt"
+
+	"timeprotection/internal/memory"
+)
+
+// ExampleSplitColours shows the §3.3 partitioning step: the initial
+// process divides the page colours between two security domains.
+func ExampleSplitColours() {
+	groups := memory.SplitColours(8, 2)
+	fmt.Println(groups[0])
+	fmt.Println(groups[1])
+	// Output:
+	// [0 1 2 3]
+	// [4 5 6 7]
+}
+
+// ExamplePool demonstrates that a coloured pool only ever returns frames
+// of its colours — the invariant that partitions every physically
+// indexed cache.
+func ExamplePool() {
+	alloc := memory.NewFrameAllocator(0, 64, 8)
+	pool := memory.NewPool(alloc, []int{2, 3})
+	for i := 0; i < 4; i++ {
+		f, _ := pool.Alloc()
+		fmt.Printf("frame %2d colour %d\n", f, memory.ColourOf(f, 8))
+	}
+	// Output:
+	// frame  2 colour 2
+	// frame  3 colour 3
+	// frame 10 colour 2
+	// frame 11 colour 3
+}
+
+// ExamplePool_TransferColour shows colour-granularity re-partitioning.
+func ExamplePool_TransferColour() {
+	alloc := memory.NewFrameAllocator(0, 64, 8)
+	a := memory.NewPool(alloc, []int{0, 1, 2, 3})
+	b := memory.NewPool(alloc, []int{4, 5, 6, 7})
+	_ = a.TransferColour(3, b)
+	fmt.Println(a.Colours())
+	fmt.Println(b.Colours())
+	// Output:
+	// [0 1 2]
+	// [4 5 6 7 3]
+}

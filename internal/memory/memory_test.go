@@ -1,0 +1,323 @@
+package memory
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestColourOf(t *testing.T) {
+	if ColourOf(0, 8) != 0 || ColourOf(7, 8) != 7 || ColourOf(8, 8) != 0 || ColourOf(13, 8) != 5 {
+		t.Fatal("ColourOf wrong for 8 colours")
+	}
+}
+
+func TestAllocatorColourDiscipline(t *testing.T) {
+	a := NewFrameAllocator(0, 64, 8)
+	for c := 0; c < 8; c++ {
+		f, err := a.Alloc(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ColourOf(f, 8) != c {
+			t.Fatalf("frame %d has colour %d, asked for %d", f, ColourOf(f, 8), c)
+		}
+	}
+}
+
+func TestAllocatorExhaustion(t *testing.T) {
+	a := NewFrameAllocator(0, 16, 8) // 2 frames per colour
+	if _, err := a.Alloc(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Alloc(3); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("err = %v, want ErrOutOfMemory", err)
+	}
+	// Other colours unaffected.
+	if _, err := a.Alloc(4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorFreeAndReuse(t *testing.T) {
+	a := NewFrameAllocator(0, 8, 8)
+	f, _ := a.Alloc(2)
+	if err := a.Free(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(f); err == nil {
+		t.Fatal("double free not detected")
+	}
+	g, err := a.Alloc(2)
+	if err != nil || g != f {
+		t.Fatalf("reuse failed: got %d err %v, want %d", g, err, f)
+	}
+}
+
+func TestAllocatorColourRangeCheck(t *testing.T) {
+	a := NewFrameAllocator(0, 8, 4)
+	if _, err := a.Alloc(4); err == nil {
+		t.Fatal("out-of-range colour accepted")
+	}
+	if _, err := a.Alloc(-1); err == nil {
+		t.Fatal("negative colour accepted")
+	}
+}
+
+func TestPoolRestrictedColours(t *testing.T) {
+	a := NewFrameAllocator(0, 64, 8)
+	p := NewPool(a, []int{0, 1, 2, 3})
+	seen := map[int]bool{}
+	for i := 0; i < 16; i++ {
+		f, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := ColourOf(f, 8)
+		if c > 3 {
+			t.Fatalf("pool leaked colour %d", c)
+		}
+		seen[c] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("round-robin should use all 4 colours, saw %d", len(seen))
+	}
+}
+
+func TestPoolsAreDisjoint(t *testing.T) {
+	a := NewFrameAllocator(0, 64, 8)
+	split := SplitColours(8, 2)
+	p0, p1 := NewPool(a, split[0]), NewPool(a, split[1])
+	f0, _ := p0.AllocN(16)
+	f1, _ := p1.AllocN(16)
+	c0, c1 := map[int]bool{}, map[int]bool{}
+	for _, f := range f0 {
+		c0[ColourOf(f, 8)] = true
+	}
+	for _, f := range f1 {
+		c1[ColourOf(f, 8)] = true
+	}
+	for c := range c0 {
+		if c1[c] {
+			t.Fatalf("colour %d appears in both pools", c)
+		}
+	}
+}
+
+func TestPoolAllocNRollsBack(t *testing.T) {
+	a := NewFrameAllocator(0, 8, 8)
+	p := NewPool(a, []int{5})
+	if _, err := p.AllocN(3); err == nil {
+		t.Fatal("expected failure: colour 5 has one frame")
+	}
+	if a.FreeOfColour(5) != 1 {
+		t.Fatal("failed AllocN leaked frames")
+	}
+}
+
+func TestPoolRelease(t *testing.T) {
+	a := NewFrameAllocator(0, 64, 8)
+	p := NewPool(a, []int{0, 1})
+	p.AllocN(10)
+	before := a.FreeFrames()
+	p.Release()
+	if a.FreeFrames() != before+10 {
+		t.Fatalf("Release returned %d frames, want 10", a.FreeFrames()-before)
+	}
+}
+
+func TestSplitColours(t *testing.T) {
+	s := SplitColours(8, 2)
+	if len(s) != 2 || len(s[0]) != 4 || len(s[1]) != 4 {
+		t.Fatalf("SplitColours(8,2) = %v", s)
+	}
+	s = SplitColours(7, 2)
+	if len(s[0]) != 4 || len(s[1]) != 3 {
+		t.Fatalf("SplitColours(7,2) = %v", s)
+	}
+	all := map[int]bool{}
+	for _, grp := range s {
+		for _, c := range grp {
+			if all[c] {
+				t.Fatalf("colour %d duplicated", c)
+			}
+			all[c] = true
+		}
+	}
+}
+
+func TestColourShare(t *testing.T) {
+	if n := len(ColourShare(8, 0.5)); n != 4 {
+		t.Errorf("50%% of 8 = %d colours, want 4", n)
+	}
+	if n := len(ColourShare(8, 0.75)); n != 6 {
+		t.Errorf("75%% of 8 = %d colours, want 6", n)
+	}
+	if n := len(ColourShare(8, 1.0)); n != 8 {
+		t.Errorf("100%% of 8 = %d colours, want 8", n)
+	}
+	if n := len(ColourShare(8, 0.0)); n != 1 {
+		t.Errorf("0%% of 8 = %d colours, want clamp to 1", n)
+	}
+}
+
+func TestAddressSpaceMapTranslate(t *testing.T) {
+	a := NewFrameAllocator(0, 64, 8)
+	p := NewPool(a, nil)
+	as, err := NewAddressSpace(1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := p.Alloc()
+	if err := as.Map(0x400000, f, false); err != nil {
+		t.Fatal(err)
+	}
+	tr, ok := as.Translate(0x400123)
+	if !ok {
+		t.Fatal("mapped page did not translate")
+	}
+	if tr.PAddr != f.Addr()|0x123 {
+		t.Fatalf("paddr = %#x, want %#x", tr.PAddr, f.Addr()|0x123)
+	}
+	if tr.Global {
+		t.Fatal("non-global mapping reported global")
+	}
+	if _, ok := as.Translate(0x500000); ok {
+		t.Fatal("unmapped page translated")
+	}
+	as.Unmap(0x400000)
+	if _, ok := as.Translate(0x400000); ok {
+		t.Fatal("unmapped page still translates")
+	}
+}
+
+func TestAddressSpaceWalkAddressesAreColoured(t *testing.T) {
+	a := NewFrameAllocator(0, 256, 8)
+	p := NewPool(a, []int{2, 3})
+	as, _ := NewAddressSpace(1, p)
+	f, _ := p.Alloc()
+	as.Map(0x400000, f, false)
+	tr, _ := as.Translate(0x400000)
+	for _, w := range tr.Walk {
+		c := ColourOf(PFN(w>>PageBits), 8)
+		if c != 2 && c != 3 {
+			t.Fatalf("page-table walk address %#x has colour %d outside the pool", w, c)
+		}
+	}
+}
+
+func TestAddressSpaceMapRange(t *testing.T) {
+	a := NewFrameAllocator(0, 64, 8)
+	p := NewPool(a, nil)
+	as, _ := NewAddressSpace(1, p)
+	frames, _ := p.AllocN(4)
+	if err := as.MapRange(0x10000, frames, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 4; i++ {
+		tr, ok := as.Translate(0x10000 + i*PageSize)
+		if !ok || tr.Frame != frames[i] || !tr.Global {
+			t.Fatalf("page %d mis-mapped: %+v ok=%v", i, tr, ok)
+		}
+	}
+}
+
+func TestUntypedRetype(t *testing.T) {
+	frames := []PFN{1, 2, 3, 4, 5}
+	u := NewUntyped(frames)
+	got, err := u.Retype(3)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("Retype(3) = %v, %v", got, err)
+	}
+	if u.Remaining() != 2 {
+		t.Fatalf("Remaining = %d, want 2", u.Remaining())
+	}
+	if _, err := u.Retype(3); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("over-retype error = %v", err)
+	}
+	u.Reset()
+	if u.Remaining() != 5 {
+		t.Fatal("Reset did not reclaim")
+	}
+}
+
+// Property: every frame a restricted pool returns has a pool colour.
+func TestPropertyPoolColourInvariant(t *testing.T) {
+	f := func(colourPick uint8, n uint8) bool {
+		a := NewFrameAllocator(0, 512, 8)
+		c := int(colourPick % 8)
+		p := NewPool(a, []int{c})
+		for i := 0; i < int(n%32); i++ {
+			fr, err := p.Alloc()
+			if err != nil {
+				return true // exhaustion is fine
+			}
+			if ColourOf(fr, 8) != c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: alloc/free round-trips preserve the total frame count.
+func TestPropertyAllocFreeConservation(t *testing.T) {
+	f := func(ops []bool) bool {
+		a := NewFrameAllocator(0, 64, 8)
+		var held []PFN
+		for _, alloc := range ops {
+			if alloc {
+				fr, err := a.AllocAny()
+				if err == nil {
+					held = append(held, fr)
+				}
+			} else if len(held) > 0 {
+				a.Free(held[len(held)-1])
+				held = held[:len(held)-1]
+			}
+		}
+		return a.FreeFrames()+len(held) == 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocPFN(t *testing.T) {
+	a := NewFrameAllocator(0, 16, 8)
+	if !a.AllocPFN(5) {
+		t.Fatal("free frame refused")
+	}
+	if a.AllocPFN(5) {
+		t.Fatal("double allocation accepted")
+	}
+	if err := a.Free(5); err != nil {
+		t.Fatal(err)
+	}
+	if !a.AllocPFN(5) {
+		t.Fatal("freed frame refused")
+	}
+}
+
+func TestTransferAll(t *testing.T) {
+	a := NewFrameAllocator(0, 64, 8)
+	p := NewPool(a, []int{0, 1, 2, 3})
+	q := NewPool(a, []int{4, 5, 6, 7})
+	if err := p.TransferAll(q); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Colours()) != 0 || len(q.Colours()) != 8 {
+		t.Fatalf("transfer-all wrong: %v / %v", p.Colours(), q.Colours())
+	}
+	// Overlap is rejected.
+	r := NewPool(a, []int{4})
+	if err := r.TransferAll(q); err == nil {
+		t.Fatal("overlapping transfer-all accepted")
+	}
+}

@@ -1,0 +1,142 @@
+package mi
+
+import "math"
+
+// Capacity computes the discrete Shannon capacity of a channel matrix
+// (bits per use) with the Blahut-Arimoto algorithm. The paper's §5.1
+// explains why MI under a uniform input is its primary metric (easier to
+// estimate reliably, and zero continuous MI implies zero capacity);
+// capacity is the complementary worst-case number — the most an optimal
+// sender could push through the channel — and is the figure covert-
+// channel analyses traditionally report.
+func Capacity(m ChannelMatrix) float64 {
+	return blahutArimoto(m.P, 200, 1e-9)
+}
+
+// CapacityFromDataset bins a dataset's outputs and computes the capacity
+// of the resulting empirical matrix.
+func CapacityFromDataset(d *Dataset, bins int) float64 {
+	if d.N() == 0 || len(d.Inputs()) < 2 {
+		return 0
+	}
+	return Capacity(Matrix(d, bins))
+}
+
+// MinEntropyLeakage computes the multiplicative-Bayes-risk leakage of a
+// channel matrix under a uniform prior, in bits:
+//
+//	L = log2( Σ_y max_x P(y|x) )
+//
+// Where MI averages, min-entropy leakage tracks a single-guess
+// adversary: how much one observation improves the probability of
+// guessing the secret outright (Smith's measure). A noiseless k-ary
+// channel leaks log2(k); a useless one leaks 0.
+func MinEntropyLeakage(m ChannelMatrix) float64 {
+	if len(m.P) < 2 {
+		return 0
+	}
+	bins := len(m.P[0])
+	sum := 0.0
+	for y := 0; y < bins; y++ {
+		best := 0.0
+		for _, row := range m.P {
+			if row[y] > best {
+				best = row[y]
+			}
+		}
+		sum += best
+	}
+	if sum <= 1 {
+		return 0
+	}
+	return math.Log2(sum)
+}
+
+// MinEntropyLeakageFromDataset bins a dataset and computes its
+// min-entropy leakage.
+func MinEntropyLeakageFromDataset(d *Dataset, bins int) float64 {
+	if d.N() == 0 || len(d.Inputs()) < 2 {
+		return 0
+	}
+	return MinEntropyLeakage(Matrix(d, bins))
+}
+
+// blahutArimoto iterates the classic alternating maximisation:
+//
+//	q(x|y) ∝ p(x) P(y|x)
+//	p(x)   ∝ exp( Σ_y P(y|x) log q(x|y) )
+//
+// until the capacity bounds converge.
+func blahutArimoto(p [][]float64, maxIter int, tol float64) float64 {
+	k := len(p)
+	if k < 2 {
+		return 0
+	}
+	bins := len(p[0])
+	// Strip all-zero rows (inputs never observed) to keep logs finite.
+	var rows [][]float64
+	for _, r := range p {
+		sum := 0.0
+		for _, v := range r {
+			sum += v
+		}
+		if sum > 0 {
+			rows = append(rows, r)
+		}
+	}
+	k = len(rows)
+	if k < 2 {
+		return 0
+	}
+	px := make([]float64, k)
+	for i := range px {
+		px[i] = 1 / float64(k)
+	}
+	c := 0.0
+	for iter := 0; iter < maxIter; iter++ {
+		// q_y = output marginal under px.
+		qy := make([]float64, bins)
+		for i := 0; i < k; i++ {
+			for y := 0; y < bins; y++ {
+				qy[y] += px[i] * rows[i][y]
+			}
+		}
+		// D_i = KL( P(.|x_i) || q ) in bits.
+		d := make([]float64, k)
+		for i := 0; i < k; i++ {
+			for y := 0; y < bins; y++ {
+				if rows[i][y] > 0 && qy[y] > 0 {
+					d[i] += rows[i][y] * math.Log2(rows[i][y]/qy[y])
+				}
+			}
+		}
+		// Capacity bounds.
+		il, iu := 0.0, math.Inf(-1)
+		for i := 0; i < k; i++ {
+			il += px[i] * d[i]
+			if d[i] > iu {
+				iu = d[i]
+			}
+		}
+		c = il
+		if iu-il < tol {
+			break
+		}
+		// Update the input distribution.
+		norm := 0.0
+		for i := 0; i < k; i++ {
+			px[i] *= math.Exp2(d[i])
+			norm += px[i]
+		}
+		if norm == 0 {
+			return 0
+		}
+		for i := 0; i < k; i++ {
+			px[i] /= norm
+		}
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}

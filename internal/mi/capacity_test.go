@@ -1,0 +1,175 @@
+package mi
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// matrix builds a ChannelMatrix from explicit rows.
+func matrix(rows [][]float64) ChannelMatrix {
+	m := ChannelMatrix{P: rows}
+	for i := range rows {
+		m.Inputs = append(m.Inputs, i)
+	}
+	return m
+}
+
+func TestCapacityNoiselessChannel(t *testing.T) {
+	// A noiseless 4-ary channel has capacity log2(4) = 2.
+	m := matrix([][]float64{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+	})
+	if c := Capacity(m); math.Abs(c-2) > 1e-6 {
+		t.Fatalf("noiseless capacity = %f, want 2", c)
+	}
+}
+
+func TestCapacityBSC(t *testing.T) {
+	// Binary symmetric channel with crossover e: C = 1 - H2(e).
+	for _, e := range []float64{0.05, 0.11, 0.25} {
+		m := matrix([][]float64{
+			{1 - e, e},
+			{e, 1 - e},
+		})
+		h2 := -e*math.Log2(e) - (1-e)*math.Log2(1-e)
+		want := 1 - h2
+		if c := Capacity(m); math.Abs(c-want) > 1e-6 {
+			t.Fatalf("BSC(%f) capacity = %f, want %f", e, c, want)
+		}
+	}
+}
+
+func TestCapacityBEC(t *testing.T) {
+	// Binary erasure channel: C = 1 - erasure probability. The optimal
+	// input is uniform, but the check exercises a 3-output matrix.
+	e := 0.3
+	m := matrix([][]float64{
+		{1 - e, e, 0},
+		{0, e, 1 - e},
+	})
+	if c := Capacity(m); math.Abs(c-(1-e)) > 1e-6 {
+		t.Fatalf("BEC(%f) capacity = %f, want %f", e, c, 1-e)
+	}
+}
+
+func TestCapacityUselessChannel(t *testing.T) {
+	m := matrix([][]float64{
+		{0.5, 0.5},
+		{0.5, 0.5},
+	})
+	if c := Capacity(m); c > 1e-9 {
+		t.Fatalf("useless channel capacity = %g, want 0", c)
+	}
+}
+
+func TestCapacityAsymmetricInput(t *testing.T) {
+	// Z-channel with p=0.5: known capacity log2(5/2) - wait; use the
+	// standard result C = log2(1 + (1-p) p^{p/(1-p)}) for crossover p on
+	// one input only.
+	p := 0.5
+	m := matrix([][]float64{
+		{1, 0},
+		{p, 1 - p},
+	})
+	want := math.Log2(1 + (1-p)*math.Pow(p, p/(1-p)))
+	if c := Capacity(m); math.Abs(c-want) > 1e-6 {
+		t.Fatalf("Z-channel capacity = %f, want %f", c, want)
+	}
+}
+
+func TestCapacityDegenerateMatrices(t *testing.T) {
+	if c := Capacity(matrix([][]float64{{1, 0}})); c != 0 {
+		t.Error("single-input channel must have zero capacity")
+	}
+	// All-zero rows are ignored.
+	m := matrix([][]float64{
+		{1, 0},
+		{0, 0},
+		{0, 1},
+	})
+	if c := Capacity(m); math.Abs(c-1) > 1e-6 {
+		t.Errorf("capacity with dead row = %f, want 1", c)
+	}
+}
+
+// Capacity upper-bounds uniform-input MI on the same matrix.
+func TestCapacityBoundsUniformMI(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := gaussianDataset(rng, 1500, []float64{0, 12, 24, 36}, 6)
+	cap := CapacityFromDataset(d, 24)
+	m := Estimate(d)
+	if cap+0.05 < m {
+		t.Fatalf("capacity %f below uniform-input MI %f", cap, m)
+	}
+	if cap > 2.01 {
+		t.Fatalf("capacity %f exceeds log2(inputs)", cap)
+	}
+}
+
+func TestCapacityFromDatasetDegenerate(t *testing.T) {
+	if CapacityFromDataset(&Dataset{}, 8) != 0 {
+		t.Error("empty dataset capacity must be 0")
+	}
+	d := &Dataset{}
+	d.Add(0, 1)
+	if CapacityFromDataset(d, 8) != 0 {
+		t.Error("single-input dataset capacity must be 0")
+	}
+}
+
+func TestMinEntropyLeakageNoiseless(t *testing.T) {
+	m := matrix([][]float64{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 1, 0},
+		{0, 0, 0, 1},
+	})
+	if l := MinEntropyLeakage(m); math.Abs(l-2) > 1e-9 {
+		t.Fatalf("noiseless leakage = %f, want 2", l)
+	}
+}
+
+func TestMinEntropyLeakageUseless(t *testing.T) {
+	m := matrix([][]float64{
+		{0.25, 0.25, 0.25, 0.25},
+		{0.25, 0.25, 0.25, 0.25},
+	})
+	if l := MinEntropyLeakage(m); l != 0 {
+		t.Fatalf("useless channel leakage = %f, want 0", l)
+	}
+}
+
+func TestMinEntropyLeakageBSC(t *testing.T) {
+	// BSC(e): sum_y max = 2(1-e) -> L = 1 + log2(1-e).
+	e := 0.1
+	m := matrix([][]float64{
+		{1 - e, e},
+		{e, 1 - e},
+	})
+	want := 1 + math.Log2(1-e)
+	if l := MinEntropyLeakage(m); math.Abs(l-want) > 1e-9 {
+		t.Fatalf("BSC leakage = %f, want %f", l, want)
+	}
+}
+
+func TestMinEntropyLeakageBoundsMI(t *testing.T) {
+	// Min-entropy leakage upper-bounds Shannon capacity for
+	// deterministic channels and is comparable in general; check the
+	// sanity relation L >= 0 and L <= log2(k) on an empirical matrix.
+	rng := rand.New(rand.NewSource(11))
+	d := gaussianDataset(rng, 1200, []float64{0, 15, 30}, 6)
+	l := MinEntropyLeakageFromDataset(d, 24)
+	if l < 0 || l > math.Log2(3)+1e-9 {
+		t.Fatalf("leakage %f out of [0, log2 3]", l)
+	}
+}
+
+func TestMinEntropyLeakageDegenerate(t *testing.T) {
+	if MinEntropyLeakageFromDataset(&Dataset{}, 8) != 0 {
+		t.Error("empty dataset must leak 0")
+	}
+}

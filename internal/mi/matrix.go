@@ -1,0 +1,117 @@
+package mi
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// ChannelMatrix is the conditional probability of observing an output
+// bin given an input symbol — the heat-map data of Figure 3.
+type ChannelMatrix struct {
+	Inputs   []int
+	BinEdges []float64 // len = bins+1
+	// P[i][b] = P(output in bin b | input Inputs[i]); rows sum to 1
+	// (up to rounding) when the input has samples.
+	P [][]float64
+}
+
+// Matrix bins the dataset's outputs into `bins` equal-width bins over
+// the observed range and returns the conditional distribution per input.
+func Matrix(d *Dataset, bins int) ChannelMatrix {
+	inputs := d.Inputs()
+	groups := d.byInput()
+	lo, hi := 0.0, 1.0
+	if d.N() > 0 {
+		lo, hi = d.outputs[0], d.outputs[0]
+		for _, x := range d.outputs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	edges := make([]float64, bins+1)
+	for i := range edges {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(bins)
+	}
+	m := ChannelMatrix{Inputs: inputs, BinEdges: edges}
+	for _, in := range inputs {
+		row := make([]float64, bins)
+		xs := groups[in]
+		for _, x := range xs {
+			b := int(float64(bins) * (x - lo) / (hi - lo))
+			if b >= bins {
+				b = bins - 1
+			}
+			if b < 0 {
+				b = 0
+			}
+			row[b]++
+		}
+		if len(xs) > 0 {
+			for b := range row {
+				row[b] /= float64(len(xs))
+			}
+		}
+		m.P = append(m.P, row)
+	}
+	return m
+}
+
+// WriteCSV emits the dataset as "input,output" rows.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"input", "output"}); err != nil {
+		return err
+	}
+	for i := range d.inputs {
+		rec := []string{
+			strconv.Itoa(d.inputs[i]),
+			strconv.FormatFloat(d.outputs[i], 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any two-column
+// input,output CSV with a header row).
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	d := &Dataset{}
+	for i, rec := range recs {
+		if i == 0 && len(rec) >= 1 && rec[0] == "input" {
+			continue // header
+		}
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("mi: row %d has %d columns, want 2", i, len(rec))
+		}
+		in, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("mi: row %d input: %w", i, err)
+		}
+		out, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("mi: row %d output: %w", i, err)
+		}
+		d.Add(in, out)
+	}
+	if d.N() == 0 {
+		return nil, ErrEmptyDataset
+	}
+	return d, nil
+}

@@ -1,0 +1,216 @@
+package mi
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func gaussianDataset(rng *rand.Rand, n int, means []float64, std float64) *Dataset {
+	d := &Dataset{}
+	for i := 0; i < n; i++ {
+		in := rng.Intn(len(means))
+		d.Add(in, means[in]+rng.NormFloat64()*std)
+	}
+	return d
+}
+
+func TestEstimatePerfectChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Four perfectly separated symbols: MI should approach log2(4) = 2.
+	d := gaussianDataset(rng, 2000, []float64{0, 100, 200, 300}, 1)
+	m := Estimate(d)
+	if m < 1.8 || m > 2.05 {
+		t.Fatalf("perfect 4-symbol channel M = %.3f bits, want ~2", m)
+	}
+}
+
+func TestEstimateZeroChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Identical distributions: MI should be ~0 and below the shuffle bound.
+	d := gaussianDataset(rng, 1000, []float64{50, 50, 50, 50}, 5)
+	r := Analyze(d, rand.New(rand.NewSource(3)))
+	if r.Leak() {
+		t.Fatalf("zero channel reported a leak: %v", r)
+	}
+	if r.M > 0.05 {
+		t.Fatalf("zero channel M = %.3f bits, want ~0", r.M)
+	}
+}
+
+func TestEstimatePartialChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Two overlapping symbols: 0 < MI < 1.
+	d := gaussianDataset(rng, 2000, []float64{0, 10}, 8)
+	m := Estimate(d)
+	if m <= 0.01 || m >= 0.9 {
+		t.Fatalf("partial channel M = %.3f bits, want in (0.01, 0.9)", m)
+	}
+	r := Analyze(d, rand.New(rand.NewSource(5)))
+	if !r.Leak() {
+		t.Fatalf("partial channel not detected: %v", r)
+	}
+}
+
+func TestEstimateDegenerateCases(t *testing.T) {
+	d := &Dataset{}
+	if Estimate(d) != 0 {
+		t.Error("empty dataset should have zero MI")
+	}
+	d.Add(0, 1)
+	d.Add(0, 2)
+	if Estimate(d) != 0 {
+		t.Error("single-input dataset should have zero MI")
+	}
+	d2 := &Dataset{}
+	d2.Add(0, 7)
+	d2.Add(1, 7)
+	if Estimate(d2) != 0 {
+		t.Error("constant-output dataset should have zero MI")
+	}
+}
+
+func TestConstantPerClassOutputs(t *testing.T) {
+	// Distinct constant outputs per input: a deterministic channel.
+	d := &Dataset{}
+	for i := 0; i < 100; i++ {
+		d.Add(0, 10)
+		d.Add(1, 20)
+	}
+	m := Estimate(d)
+	if m < 0.9 {
+		t.Fatalf("deterministic binary channel M = %.3f, want ~1", m)
+	}
+}
+
+func TestShuffleBoundDetectsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Small sample: raw estimate will be noisy and nonzero, but the
+	// shuffle bound must classify it as consistent with zero.
+	d := gaussianDataset(rng, 60, []float64{50, 50}, 5)
+	r := Analyze(d, rand.New(rand.NewSource(7)))
+	if r.Leak() {
+		t.Fatalf("sampling noise misclassified as leak: %v", r)
+	}
+	if r.M0 <= 0 {
+		t.Fatal("shuffle bound should be positive for noisy small samples")
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	d := gaussianDataset(rng, 300, []float64{0, 30}, 10)
+	r1 := Analyze(d, rand.New(rand.NewSource(9)))
+	r2 := Analyze(d, rand.New(rand.NewSource(9)))
+	if r1 != r2 {
+		t.Fatalf("Analyze not deterministic: %v vs %v", r1, r2)
+	}
+}
+
+func TestMillibits(t *testing.T) {
+	if Millibits(0.0506) != 50.6 {
+		t.Errorf("Millibits(0.0506) = %v", Millibits(0.0506))
+	}
+}
+
+// Property: MI is non-negative and bounded by log2(#inputs).
+func TestPropertyMIBounds(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%3) + 2
+		rng := rand.New(rand.NewSource(seed))
+		means := make([]float64, k)
+		for i := range means {
+			means[i] = rng.Float64() * 50
+		}
+		d := gaussianDataset(rng, 200, means, 1+rng.Float64()*10)
+		m := Estimate(d)
+		return m >= 0 && m <= math.Log2(float64(k))+0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: permuting sample order does not change the estimate.
+func TestPropertyOrderInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	d := gaussianDataset(rng, 200, []float64{0, 25}, 5)
+	m1 := Estimate(d)
+	perm := rand.New(rand.NewSource(11)).Perm(d.N())
+	d2 := &Dataset{}
+	for _, i := range perm {
+		d2.Add(d.inputs[i], d.outputs[i])
+	}
+	if math.Abs(m1-Estimate(d2)) > 1e-9 {
+		t.Fatal("estimate depends on sample order")
+	}
+}
+
+func TestMatrixRowsAreDistributions(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	d := gaussianDataset(rng, 1000, []float64{0, 50, 100}, 10)
+	m := Matrix(d, 20)
+	if len(m.Inputs) != 3 || len(m.P) != 3 {
+		t.Fatalf("matrix shape wrong: %d inputs", len(m.Inputs))
+	}
+	for i, row := range m.P {
+		sum := 0.0
+		for _, p := range row {
+			if p < 0 || p > 1 {
+				t.Fatalf("P[%d] has out-of-range probability", i)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("row %d sums to %f", i, sum)
+		}
+	}
+	if len(m.BinEdges) != 21 {
+		t.Fatalf("bin edges = %d, want 21", len(m.BinEdges))
+	}
+}
+
+func TestMatrixSeparatedInputsOccupyDistinctBins(t *testing.T) {
+	d := &Dataset{}
+	for i := 0; i < 50; i++ {
+		d.Add(0, 0)
+		d.Add(1, 100)
+	}
+	m := Matrix(d, 10)
+	if m.P[0][0] != 1 || m.P[1][9] != 1 {
+		t.Fatalf("separated inputs not in distinct bins: %v / %v", m.P[0], m.P[1])
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := gaussianDataset(rng, 50, []float64{0, 10}, 2)
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != d.N() {
+		t.Fatalf("round trip N = %d, want %d", got.N(), d.N())
+	}
+	if math.Abs(Estimate(got)-Estimate(d)) > 1e-12 {
+		t.Fatal("round trip changed the estimate")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewBufferString("input,output\n")); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("input,output\nx,1\n")); err == nil {
+		t.Error("bad input column should error")
+	}
+	if _, err := ReadCSV(bytes.NewBufferString("input,output\n1,y\n")); err == nil {
+		t.Error("bad output column should error")
+	}
+}
