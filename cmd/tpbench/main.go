@@ -5,9 +5,16 @@
 // Usage:
 //
 //	tpbench -all                      # every table and figure, both platforms
+//	tpbench -all -parallel 8          # same bytes, 8 workers
 //	tpbench -table 3 -platform sabre  # one table, one platform
 //	tpbench -figure 4                 # one figure
 //	tpbench -ablations                # the DESIGN.md ablation study
+//
+// Independent artefacts run concurrently on -parallel workers (default:
+// all CPUs). Every driver builds its own deterministic simulated
+// machine and each job's output is buffered and emitted in the
+// sequential order, so the report is byte-identical for every worker
+// count with the same seed.
 //
 // Scaled quantities (time slices, sample counts, working sets) are
 // documented in EXPERIMENTS.md; shapes, orderings and mitigation
@@ -15,9 +22,11 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/hw"
@@ -35,6 +44,7 @@ func main() {
 		samples    = flag.Int("samples", 150, "samples per channel measurement")
 		blocks     = flag.Int("blocks", 0, "Splash-2 work blocks (0 = benchmark default)")
 		seed       = flag.Int64("seed", 42, "deterministic seed")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent experiment workers (output is identical for any value)")
 	)
 	flag.Parse()
 
@@ -51,116 +61,24 @@ func main() {
 		plats = []hw.Platform{p}
 	}
 
-	ran := false
-	if *all || *table == 1 {
-		fmt.Println(experiments.Table1())
-		ran = true
-	}
-	for _, plat := range plats {
-		cfg := experiments.Config{Platform: plat, Samples: *samples, SplashBlocks: *blocks, Seed: *seed}
-		run := func(sel bool, f func() error) {
-			if !sel {
-				return
-			}
-			ran = true
-			if err := f(); err != nil {
-				fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
-				os.Exit(1)
-			}
-		}
-		show := func(render func() (string, error)) func() error {
-			return func() error {
-				s, err := render()
-				if err != nil {
-					return err
-				}
-				fmt.Println(s)
-				return nil
-			}
-		}
-
-		run(*all || *table == 2, show(func() (string, error) {
-			r, err := experiments.Table2(cfg)
-			return r.Render(), err
-		}))
-		run(*all || *figure == 3, show(func() (string, error) {
-			r, err := experiments.Figure3(cfg)
-			return r.Render(), err
-		}))
-		run(*all || *table == 3, show(func() (string, error) {
-			r, err := experiments.Table3(cfg)
-			return r.Render(), err
-		}))
-		run((*all || *figure == 4) && plat.Arch == "x86", show(func() (string, error) {
-			r, err := experiments.Figure4(cfg)
-			return r.Render(), err
-		}))
-		run(*all || *figure == 5 || *table == 4, show(func() (string, error) {
-			r, err := experiments.Table4(cfg)
-			return r.Render(), err
-		}))
-		run((*all || *figure == 6) && plat.Arch == "x86", show(func() (string, error) {
-			r, err := experiments.Figure6(cfg)
-			return r.Render(), err
-		}))
-		run(*all || *table == 5, show(func() (string, error) {
-			r, err := experiments.Table5(cfg)
-			return r.Render(), err
-		}))
-		run(*all || *table == 6, show(func() (string, error) {
-			r, err := experiments.Table6(cfg)
-			return r.Render(), err
-		}))
-		run(*all || *table == 7, show(func() (string, error) {
-			r, err := experiments.Table7(cfg)
-			return r.Render(), err
-		}))
-		run(*all || *figure == 7, show(func() (string, error) {
-			r, err := experiments.Figure7(cfg)
-			return r.Render(), err
-		}))
-		run(*all || *table == 8, show(func() (string, error) {
-			r, err := experiments.Table8(cfg)
-			return r.Render(), err
-		}))
-		run(*ablations, show(func() (string, error) {
-			r, err := experiments.Ablations(cfg)
-			return r.Render(), err
-		}))
-		run(*extensions, show(func() (string, error) {
-			r, err := experiments.Interconnect(cfg)
-			return r.Render(), err
-		}))
-		run(*extensions && plat.Arch == "x86", show(func() (string, error) {
-			r, err := experiments.CAT(cfg)
-			return r.Render(), err
-		}))
-		run(*extensions && plat.Arch == "x86", show(func() (string, error) {
-			r, err := experiments.SMT(cfg)
-			return r.Render(), err
-		}))
-		run(*extensions, show(func() (string, error) {
-			r, err := experiments.FuzzyTime(cfg)
-			return r.Render(), err
-		}))
-		if *check {
-			ran = true
-			checks, err := experiments.Checks(cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
-				os.Exit(1)
-			}
-			rendered, ok := experiments.RenderChecks(checks)
-			fmt.Printf("Security verdicts, %s:\n%s", plat.Name, rendered)
-			if !ok {
-				fmt.Println("CHECK FAILED")
-				os.Exit(1)
-			}
-			fmt.Println("all verdicts hold")
-		}
-	}
-	if !ran {
+	jobs := experiments.Plan(experiments.PlanSpec{
+		Platforms:  plats,
+		Base:       experiments.Config{Samples: *samples, SplashBlocks: *blocks, Seed: *seed},
+		All:        *all,
+		Table:      *table,
+		Figure:     *figure,
+		Ablations:  *ablations,
+		Extensions: *extensions,
+		Check:      *check,
+	})
+	if len(jobs) == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := experiments.RunJobs(jobs, *parallel, os.Stdout); err != nil {
+		if !errors.Is(err, experiments.ErrCheckFailed) {
+			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+		}
+		os.Exit(1)
 	}
 }

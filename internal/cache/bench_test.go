@@ -1,0 +1,62 @@
+package cache
+
+import "testing"
+
+// Micro-benchmarks for the per-access hot path the simulator spends
+// most of its time in (every modelled load/store/fetch funnels into
+// Cache.touch via Access/Fill). Tracked in BENCH_*.json.
+
+func benchCache() *Cache {
+	return New(Config{Name: "L2", Size: 256 << 10, Ways: 8, LineSize: 64, HitLatency: 12})
+}
+
+// BenchmarkCacheAccessHit measures the all-hits path: one resident
+// line touched repeatedly.
+func BenchmarkCacheAccessHit(b *testing.B) {
+	c := benchCache()
+	c.Access(0x1000, 0x1000, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, 0x1000, false)
+	}
+}
+
+// BenchmarkCacheAccessMiss measures the steady-state miss path (hit
+// scan, victim scan, install) by streaming conflicting lines through
+// one set.
+func BenchmarkCacheAccessMiss(b *testing.B) {
+	c := benchCache()
+	setSpan := uint64(c.cfg.Size / c.cfg.Ways) // stride that stays in set 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%64) * setSpan
+		c.Access(addr, addr, false)
+	}
+}
+
+// BenchmarkCacheAccessMaskedMiss is the miss path under a partition
+// mask (the coloured-LLC configuration), exercising the masked victim
+// scan.
+func BenchmarkCacheAccessMaskedMiss(b *testing.B) {
+	c := benchCache()
+	setSpan := uint64(c.cfg.Size / c.cfg.Ways)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%64) * setSpan
+		c.AccessMasked(addr, addr, false, 0x0F)
+	}
+}
+
+// BenchmarkPrefetcherStream measures OnAccess on a sequential stream,
+// the prefetcher's common case (MRU stream entry, steady-state emit).
+func BenchmarkPrefetcherStream(b *testing.B) {
+	p := NewPrefetcher(PrefetcherConfig{Streams: 16, Degree: 4, Trigger: 3, LineSize: 64})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.OnAccess(uint64(i) * 64)
+	}
+}

@@ -42,12 +42,17 @@ func (c Config) Colours(pageSize int) int {
 	return n
 }
 
+// line is one cache line. stamp doubles as the validity flag: 0 means
+// invalid, and any valid line carries the monotonic age of its last
+// touch (the global tick), so the victim scan is a plain minimum — an
+// invalid line's stamp 0 beats every valid line without a branch.
 type line struct {
 	tag   uint64
 	stamp uint64
-	valid bool
 	dirty bool
 }
+
+func (l *line) valid() bool { return l.stamp != 0 }
 
 // Stats accumulates access statistics for one cache.
 type Stats struct {
@@ -73,6 +78,8 @@ type Cache struct {
 	sets     int
 	lineBits uint
 	setMask  uint64
+	lineMask uint64 // LineSize-1: offset bits cleared to form the tag
+	fullMask uint64 // way mask with every way admitted
 	lines    []line // sets*ways, row-major by set
 	tick     uint64
 	pinMask  uint64 // Arm lockdown: ways excluded from normal fills
@@ -90,10 +97,12 @@ func New(cfg Config) *Cache {
 		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
 	}
 	c := &Cache{
-		cfg:     cfg,
-		sets:    sets,
-		setMask: uint64(sets - 1),
-		lines:   make([]line, sets*cfg.Ways),
+		cfg:      cfg,
+		sets:     sets,
+		setMask:  uint64(sets - 1),
+		lineMask: uint64(cfg.LineSize - 1),
+		fullMask: uint64(1)<<uint(cfg.Ways) - 1,
+		lines:    make([]line, sets*cfg.Ways),
 	}
 	for c.cfg.LineSize>>c.lineBits > 1 {
 		c.lineBits++
@@ -120,7 +129,7 @@ func (c *Cache) SetOf(addr uint64) int {
 
 // lineAddr truncates addr to line granularity.
 func (c *Cache) lineAddr(addr uint64) uint64 {
-	return addr >> c.lineBits << c.lineBits
+	return addr &^ c.lineMask
 }
 
 // AllWays is the way mask admitting every way (no partitioning).
@@ -175,48 +184,71 @@ func (c *Cache) Access(indexAddr, tagAddr uint64, write bool) (hit bool, ev Evic
 // victim is chosen only among ways whose mask bit is set. This is the
 // way-based LLC partitioning of §2.3 (CATalyst).
 func (c *Cache) AccessMasked(indexAddr, tagAddr uint64, write bool, wayMask uint64) (hit bool, ev Eviction) {
+	hit, ev = c.touch(indexAddr, tagAddr, write, wayMask, true)
+	return hit, ev
+}
+
+// touch is the shared hot path of Access and Fill: a tag-match scan of
+// the set and, on a miss, an LRU fill restricted to wayMask. mark sets
+// the dirty bit (a store, or an already-dirty fill); demand selects
+// whether the access is counted in Stats (fills are not).
+func (c *Cache) touch(indexAddr, tagAddr uint64, mark bool, wayMask uint64, demand bool) (hit bool, ev Eviction) {
 	c.tick++
-	set := c.SetOf(indexAddr)
-	tag := c.lineAddr(tagAddr)
+	set := int((indexAddr >> c.lineBits) & c.setMask)
+	tag := tagAddr &^ c.lineMask
 	base := set * c.cfg.Ways
-	victim := -1
-	var victimStamp uint64 = ^uint64(0)
-	for i := base; i < base+c.cfg.Ways; i++ {
-		l := &c.lines[i]
-		if l.valid && l.tag == tag {
+	ways := c.lines[base : base+c.cfg.Ways]
+	for i := range ways {
+		l := &ways[i]
+		if l.stamp != 0 && l.tag == tag {
 			l.stamp = c.tick
-			if write {
+			if mark {
 				l.dirty = true
 			}
-			c.Stats.Hits++
+			if demand {
+				c.Stats.Hits++
+			}
 			return true, Eviction{}
 		}
-		if wayMask&(1<<uint(i-base)) == 0 {
-			continue
-		}
-		if !l.valid {
-			if victimStamp != 0 {
-				victim = i
-				victimStamp = 0
+	}
+	if demand {
+		c.Stats.Misses++
+	}
+	// Victim scan: minimum stamp wins, and invalid lines (stamp 0)
+	// automatically beat every valid one. The strict < keeps the
+	// lowest-index line among equals, matching the previous two-branch
+	// bookkeeping exactly.
+	victim := -1
+	victimStamp := ^uint64(0)
+	if wayMask&c.fullMask == c.fullMask {
+		for i := range ways {
+			if s := ways[i].stamp; s < victimStamp {
+				victim, victimStamp = i, s
 			}
-		} else if l.stamp < victimStamp {
-			victim = i
-			victimStamp = l.stamp
+		}
+	} else {
+		bit := uint64(1)
+		for i := range ways {
+			if wayMask&bit != 0 {
+				if s := ways[i].stamp; s < victimStamp {
+					victim, victimStamp = i, s
+				}
+			}
+			bit <<= 1
 		}
 	}
-	c.Stats.Misses++
 	if victim < 0 {
 		// Degenerate empty mask: the line is not cached at all.
 		return false, Eviction{}
 	}
-	v := &c.lines[victim]
-	if v.valid {
+	v := &ways[victim]
+	if v.stamp != 0 {
 		ev = Eviction{Tag: v.tag, Valid: true, Dirty: v.dirty}
 		if v.dirty {
 			c.Stats.Writebacks++
 		}
 	}
-	*v = line{tag: tag, stamp: c.tick, valid: true, dirty: write}
+	*v = line{tag: tag, stamp: c.tick, dirty: mark}
 	return false, ev
 }
 
@@ -228,45 +260,7 @@ func (c *Cache) Fill(indexAddr, tagAddr uint64, dirty bool) (ev Eviction) {
 
 // FillMasked is Fill under a CAT-style way mask.
 func (c *Cache) FillMasked(indexAddr, tagAddr uint64, dirty bool, wayMask uint64) (ev Eviction) {
-	c.tick++
-	set := c.SetOf(indexAddr)
-	tag := c.lineAddr(tagAddr)
-	base := set * c.cfg.Ways
-	victim := -1
-	var victimStamp uint64 = ^uint64(0)
-	for i := base; i < base+c.cfg.Ways; i++ {
-		l := &c.lines[i]
-		if l.valid && l.tag == tag {
-			l.stamp = c.tick
-			if dirty {
-				l.dirty = true
-			}
-			return Eviction{}
-		}
-		if wayMask&(1<<uint(i-base)) == 0 {
-			continue
-		}
-		if !l.valid {
-			if victimStamp != 0 {
-				victim = i
-				victimStamp = 0
-			}
-		} else if l.stamp < victimStamp {
-			victim = i
-			victimStamp = l.stamp
-		}
-	}
-	if victim < 0 {
-		return Eviction{}
-	}
-	v := &c.lines[victim]
-	if v.valid {
-		ev = Eviction{Tag: v.tag, Valid: true, Dirty: v.dirty}
-		if v.dirty {
-			c.Stats.Writebacks++
-		}
-	}
-	*v = line{tag: tag, stamp: c.tick, valid: true, dirty: dirty}
+	_, ev = c.touch(indexAddr, tagAddr, dirty, wayMask, false)
 	return ev
 }
 
@@ -278,7 +272,7 @@ func (c *Cache) Contains(indexAddr, tagAddr uint64) bool {
 	tag := c.lineAddr(tagAddr)
 	base := set * c.cfg.Ways
 	for i := base; i < base+c.cfg.Ways; i++ {
-		if c.lines[i].valid && c.lines[i].tag == tag {
+		if c.lines[i].valid() && c.lines[i].tag == tag {
 			return true
 		}
 	}
@@ -289,7 +283,7 @@ func (c *Cache) Contains(indexAddr, tagAddr uint64) bool {
 func (c *Cache) ValidLines() int {
 	n := 0
 	for i := range c.lines {
-		if c.lines[i].valid {
+		if c.lines[i].valid() {
 			n++
 		}
 	}
@@ -302,7 +296,7 @@ func (c *Cache) ValidLines() int {
 func (c *Cache) DirtyLines() int {
 	n := 0
 	for i := range c.lines {
-		if c.lines[i].valid && c.lines[i].dirty {
+		if c.lines[i].valid() && c.lines[i].dirty {
 			n++
 		}
 	}
@@ -314,7 +308,7 @@ func (c *Cache) SetOccupancy(set int) int {
 	n := 0
 	base := set * c.cfg.Ways
 	for i := base; i < base+c.cfg.Ways; i++ {
-		if c.lines[i].valid {
+		if c.lines[i].valid() {
 			n++
 		}
 	}
@@ -325,7 +319,7 @@ func (c *Cache) SetOccupancy(set int) int {
 // were valid and how many of those were dirty (and thus written back).
 func (c *Cache) Flush() (valid, dirty int) {
 	for i := range c.lines {
-		if c.lines[i].valid {
+		if c.lines[i].valid() {
 			valid++
 			if c.lines[i].dirty {
 				dirty++
@@ -363,7 +357,7 @@ func (c *Cache) InvalidateTag(tagAddr uint64) bool {
 		set := baseSet + a*setsPerPage
 		base := set * c.cfg.Ways
 		for i := base; i < base+c.cfg.Ways; i++ {
-			if c.lines[i].valid && c.lines[i].tag == tag {
+			if c.lines[i].valid() && c.lines[i].tag == tag {
 				c.lines[i] = line{}
 				found = true
 			}
@@ -376,7 +370,7 @@ func (c *Cache) InvalidateTag(tagAddr uint64) bool {
 // callback must not mutate the cache.
 func (c *Cache) VisitLines(fn func(tag uint64, dirty bool)) {
 	for i := range c.lines {
-		if c.lines[i].valid {
+		if c.lines[i].valid() {
 			fn(c.lines[i].tag, c.lines[i].dirty)
 		}
 	}
@@ -387,7 +381,7 @@ func (c *Cache) VisitLines(fn func(tag uint64, dirty bool)) {
 // flushed lines. Used for selective invalidation in tests.
 func (c *Cache) FlushMatching(drop func(tag uint64) bool) (valid, dirty int) {
 	for i := range c.lines {
-		if c.lines[i].valid && drop(c.lines[i].tag) {
+		if c.lines[i].valid() && drop(c.lines[i].tag) {
 			valid++
 			if c.lines[i].dirty {
 				dirty++

@@ -33,6 +33,8 @@ type Prefetcher struct {
 	streams  []stream
 	tick     uint64
 	lineBits uint
+	mru      int      // stream index of the last hit: a streaming access
+	out      []uint64 // reusable OnAccess result buffer
 	// Issued counts prefetch lines launched (tests, ablation benches).
 	Issued uint64
 }
@@ -60,30 +62,43 @@ func (p *Prefetcher) Enable() { p.enabled = true }
 // OnAccess observes a demand access that missed the L1 (the level the
 // stream detector snoops) at physical address paddr, and returns the
 // physical line addresses to prefetch. The caller installs them into
-// the L2 (and L3).
+// the L2 (and L3). The returned slice is reused and only valid until
+// the next OnAccess call.
 func (p *Prefetcher) OnAccess(paddr uint64) []uint64 {
 	p.tick++
 	lineAddr := paddr >> p.lineBits
 	page := paddr >> 12
 	var s *stream
-	victim := 0
-	var victimStamp uint64 = ^uint64(0)
-	for i := range p.streams {
-		st := &p.streams[i]
-		if st.valid && st.page == page {
-			s = st
-			break
-		}
-		if !st.valid {
-			victim = i
-			victimStamp = 0
-		} else if st.stamp < victimStamp {
-			victim = i
-			victimStamp = st.stamp
+	// Streaming workloads hit the same entry on consecutive misses, so
+	// check the most recently hit stream before scanning the table.
+	if m := &p.streams[p.mru]; m.valid && m.page == page {
+		s = m
+	} else {
+		for i := range p.streams {
+			st := &p.streams[i]
+			if st.valid && st.page == page {
+				s = st
+				p.mru = i
+				break
+			}
 		}
 	}
 	if s == nil {
+		// Miss: only now pay for the victim scan.
+		victim := 0
+		var victimStamp uint64 = ^uint64(0)
+		for i := range p.streams {
+			st := &p.streams[i]
+			if !st.valid {
+				victim = i
+				victimStamp = 0
+			} else if st.stamp < victimStamp {
+				victim = i
+				victimStamp = st.stamp
+			}
+		}
 		p.streams[victim] = stream{page: page, lastLine: lineAddr, count: 1, stamp: p.tick, valid: true}
+		p.mru = victim
 		return nil
 	}
 	s.stamp = p.tick
@@ -125,7 +140,7 @@ func (p *Prefetcher) OnAccess(paddr uint64) []uint64 {
 	if !p.enabled {
 		return nil
 	}
-	var out []uint64
+	out := p.out[:0]
 	emit := func(off int64) {
 		next := int64(lineAddr) + dir*off
 		if next < 0 {
@@ -145,6 +160,7 @@ func (p *Prefetcher) OnAccess(paddr uint64) []uint64 {
 		// Steady state: keep the window Degree lines ahead.
 		emit(int64(p.cfg.Degree))
 	}
+	p.out = out
 	p.Issued += uint64(len(out))
 	// Next-page prefetch: a confirmed ascending stream nearing its page
 	// boundary pre-arms the following page's entry, so a long sequential

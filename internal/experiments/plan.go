@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"timeprotection/internal/hw"
+)
+
+// ErrCheckFailed is returned by a -check job whose security verdicts do
+// not all hold; the job's output already carries the rendered verdicts.
+var ErrCheckFailed = errors.New("security verdicts failed")
+
+// PlanSpec selects which artefacts a tpbench invocation regenerates.
+// The zero value selects nothing.
+type PlanSpec struct {
+	Platforms  []hw.Platform
+	Base       Config // Platform is overridden per entry in Platforms
+	All        bool
+	Table      int // 1-8, 0 = none
+	Figure     int // 3-7, 0 = none
+	Ablations  bool
+	Extensions bool
+	Check      bool
+}
+
+// Plan expands a spec into the ordered job list: Table 1 first (it is
+// platform-independent), then every selected artefact per platform in
+// the paper's order. The order matches what the sequential tpbench has
+// always printed; RunJobs preserves it at any worker count.
+func Plan(spec PlanSpec) []Job {
+	var jobs []Job
+	if spec.All || spec.Table == 1 {
+		jobs = append(jobs, Job{Name: "table1", Run: func() (string, error) {
+			return Table1() + "\n", nil
+		}})
+	}
+	type artefact struct {
+		name   string
+		on     bool
+		x86    bool // x86-only artefact (Figures 4 and 6, CAT, SMT)
+		render func(Config) (string, error)
+	}
+	for _, plat := range spec.Platforms {
+		cfg := spec.Base
+		cfg.Platform = plat
+		arts := []artefact{
+			{"table2", spec.All || spec.Table == 2, false, func(cfg Config) (string, error) {
+				r, err := Table2(cfg)
+				return r.Render(), err
+			}},
+			{"figure3", spec.All || spec.Figure == 3, false, func(cfg Config) (string, error) {
+				r, err := Figure3(cfg)
+				return r.Render(), err
+			}},
+			{"table3", spec.All || spec.Table == 3, false, func(cfg Config) (string, error) {
+				r, err := Table3(cfg)
+				return r.Render(), err
+			}},
+			{"figure4", spec.All || spec.Figure == 4, true, func(cfg Config) (string, error) {
+				r, err := Figure4(cfg)
+				return r.Render(), err
+			}},
+			{"table4", spec.All || spec.Figure == 5 || spec.Table == 4, false, func(cfg Config) (string, error) {
+				r, err := Table4(cfg)
+				return r.Render(), err
+			}},
+			{"figure6", spec.All || spec.Figure == 6, true, func(cfg Config) (string, error) {
+				r, err := Figure6(cfg)
+				return r.Render(), err
+			}},
+			{"table5", spec.All || spec.Table == 5, false, func(cfg Config) (string, error) {
+				r, err := Table5(cfg)
+				return r.Render(), err
+			}},
+			{"table6", spec.All || spec.Table == 6, false, func(cfg Config) (string, error) {
+				r, err := Table6(cfg)
+				return r.Render(), err
+			}},
+			{"table7", spec.All || spec.Table == 7, false, func(cfg Config) (string, error) {
+				r, err := Table7(cfg)
+				return r.Render(), err
+			}},
+			{"figure7", spec.All || spec.Figure == 7, false, func(cfg Config) (string, error) {
+				r, err := Figure7(cfg)
+				return r.Render(), err
+			}},
+			{"table8", spec.All || spec.Table == 8, false, func(cfg Config) (string, error) {
+				r, err := Table8(cfg)
+				return r.Render(), err
+			}},
+			{"ablations", spec.Ablations, false, func(cfg Config) (string, error) {
+				r, err := Ablations(cfg)
+				return r.Render(), err
+			}},
+			{"interconnect", spec.Extensions, false, func(cfg Config) (string, error) {
+				r, err := Interconnect(cfg)
+				return r.Render(), err
+			}},
+			{"cat", spec.Extensions, true, func(cfg Config) (string, error) {
+				r, err := CAT(cfg)
+				return r.Render(), err
+			}},
+			{"smt", spec.Extensions, true, func(cfg Config) (string, error) {
+				r, err := SMT(cfg)
+				return r.Render(), err
+			}},
+			{"fuzzytime", spec.Extensions, false, func(cfg Config) (string, error) {
+				r, err := FuzzyTime(cfg)
+				return r.Render(), err
+			}},
+		}
+		for _, a := range arts {
+			if !a.on || (a.x86 && plat.Arch != "x86") {
+				continue
+			}
+			render := a.render
+			jobs = append(jobs, Job{
+				Name: a.name + "/" + plat.Name,
+				Run: func() (string, error) {
+					s, err := render(cfg)
+					if err != nil {
+						return "", err
+					}
+					return s + "\n", nil
+				},
+			})
+		}
+		if spec.Check {
+			platName := plat.Name
+			jobs = append(jobs, Job{
+				Name: "check/" + platName,
+				Run: func() (string, error) {
+					checks, err := Checks(cfg)
+					if err != nil {
+						return "", err
+					}
+					rendered, ok := RenderChecks(checks)
+					out := fmt.Sprintf("Security verdicts, %s:\n%s", platName, rendered)
+					if !ok {
+						return out + "CHECK FAILED\n", ErrCheckFailed
+					}
+					return out + "all verdicts hold\n", nil
+				},
+			})
+		}
+	}
+	return jobs
+}

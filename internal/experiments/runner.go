@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Job is one independently runnable artefact of the evaluation. Run
+// returns the fully rendered output (including trailing newlines);
+// nothing is written to the caller's writer until the job completes, so
+// concurrent jobs cannot interleave output.
+type Job struct {
+	Name string
+	Run  func() (string, error)
+}
+
+// RunJobs executes jobs on up to parallel workers and writes each job's
+// output to w in slice order, regardless of completion order — the
+// stream is byte-identical for every worker count. Every experiment
+// driver builds its own simulated machine from its own seed, so jobs
+// share no state and any interleaving computes the same bytes.
+//
+// On the first failing job (in slice order) RunJobs stops writing,
+// after emitting whatever output that job produced, and returns the
+// error; later jobs may still run to completion but are discarded.
+func RunJobs(jobs []Job, parallel int, w io.Writer) error {
+	if parallel < 1 {
+		parallel = 1
+	}
+	if parallel > len(jobs) {
+		parallel = len(jobs)
+	}
+	type result struct {
+		out string
+		err error
+	}
+	results := make([]chan result, len(jobs))
+	idx := make(chan int, len(jobs))
+	for i := range jobs {
+		results[i] = make(chan result, 1)
+		idx <- i
+	}
+	close(idx)
+	for n := 0; n < parallel; n++ {
+		go func() {
+			for i := range idx {
+				out, err := jobs[i].Run()
+				results[i] <- result{out, err}
+			}
+		}()
+	}
+	for i := range jobs {
+		r := <-results[i]
+		if r.out != "" {
+			if _, err := io.WriteString(w, r.out); err != nil {
+				return err
+			}
+		}
+		if r.err != nil {
+			return fmt.Errorf("%s: %w", jobs[i].Name, r.err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"timeprotection/internal/hw"
+)
+
+// TestRunJobsOrderedOutput checks the core guarantee: output order is
+// the slice order, byte for byte, no matter how many workers run or in
+// what order jobs finish.
+func TestRunJobsOrderedOutput(t *testing.T) {
+	const n = 16
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprintf("job%d", i), Run: func() (string, error) {
+			// Later jobs finish first so completion order inverts
+			// submission order.
+			time.Sleep(time.Duration(n-i) * time.Millisecond)
+			return fmt.Sprintf("out%d\n", i), nil
+		}}
+	}
+	want := ""
+	for i := 0; i < n; i++ {
+		want += fmt.Sprintf("out%d\n", i)
+	}
+	for _, parallel := range []int{1, 2, 8, 64} {
+		var sb strings.Builder
+		if err := RunJobs(jobs, parallel, &sb); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		if sb.String() != want {
+			t.Errorf("parallel=%d: output order broken:\n%s", parallel, sb.String())
+		}
+	}
+}
+
+// TestRunJobsErrorPropagation checks that the first failing job (in
+// slice order) aborts the stream after its own output, and that its
+// error is wrapped with the job name.
+func TestRunJobsErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	jobs := []Job{
+		{Name: "ok", Run: func() (string, error) { return "fine\n", nil }},
+		{Name: "bad", Run: func() (string, error) { return "partial\n", sentinel }},
+		{Name: "after", Run: func() (string, error) { return "never shown\n", nil }},
+	}
+	var sb strings.Builder
+	err := RunJobs(jobs, 4, &sb)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error not propagated: %v", err)
+	}
+	if !strings.Contains(err.Error(), "bad") {
+		t.Errorf("error missing job name: %v", err)
+	}
+	if got := sb.String(); got != "fine\npartial\n" {
+		t.Errorf("stream after failure wrong: %q", got)
+	}
+}
+
+// TestRunJobsRunsEveryJobOnce verifies no job is skipped or duplicated
+// under heavy worker oversubscription.
+func TestRunJobsRunsEveryJobOnce(t *testing.T) {
+	const n = 50
+	var counts [n]int32
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Name: fmt.Sprintf("j%d", i), Run: func() (string, error) {
+			atomic.AddInt32(&counts[i], 1)
+			return "", nil
+		}}
+	}
+	if err := RunJobs(jobs, 128, new(strings.Builder)); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Errorf("job %d ran %d times", i, c)
+		}
+	}
+}
+
+// TestPlanParallelismByteIdentical is the tpbench determinism gate:
+// the full plan (every artefact, both platforms, checks on) renders the
+// same bytes at one worker and at eight.
+func TestPlanParallelismByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full plan run")
+	}
+	spec := PlanSpec{
+		Platforms: []hw.Platform{hw.Haswell(), hw.Sabre()},
+		Base:      Config{Samples: 40, SplashBlocks: 200, Seed: 42, Table8Slices: 4},
+		All:       true,
+	}
+	run := func(parallel int) string {
+		var sb strings.Builder
+		if err := RunJobs(Plan(spec), parallel, &sb); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return sb.String()
+	}
+	seq := run(1)
+	par := run(8)
+	if seq != par {
+		t.Fatalf("parallel output differs from sequential (seq %d bytes, par %d bytes)", len(seq), len(par))
+	}
+	if !strings.Contains(seq, "Table 8") || !strings.Contains(seq, "Sabre") {
+		t.Errorf("plan output missing expected artefacts")
+	}
+}

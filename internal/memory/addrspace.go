@@ -24,6 +24,14 @@ type AddressSpace struct {
 	root   PFN
 	tables map[uint64]PFN // top-level index -> second-level table frame
 	pages  map[uint64]pte // vpn -> entry
+
+	// One-entry walk memo. Successive accesses overwhelmingly hit the
+	// same page, so this skips both map lookups on the hot path. Map and
+	// Unmap are the only mutators of the translation structures and both
+	// invalidate it.
+	memoOK  bool
+	memoVPN uint64
+	memoTr  Translation
 }
 
 // NewAddressSpace creates an empty address space with the given ASID,
@@ -69,6 +77,7 @@ func (as *AddressSpace) Map(vaddr uint64, frame PFN, global bool) error {
 		as.tables[top] = f
 	}
 	as.pages[vpn] = pte{frame: frame, global: global}
+	as.memoOK = false
 	return nil
 }
 
@@ -86,6 +95,7 @@ func (as *AddressSpace) MapRange(vaddr uint64, frames []PFN, global bool) error 
 // Unmap removes the translation for the page containing vaddr.
 func (as *AddressSpace) Unmap(vaddr uint64) {
 	delete(as.pages, vaddr>>PageBits)
+	as.memoOK = false
 }
 
 // Translation is the result of a page-table walk.
@@ -102,6 +112,11 @@ type Translation struct {
 // its real cache footprint.
 func (as *AddressSpace) Translate(vaddr uint64) (Translation, bool) {
 	vpn := vaddr >> PageBits
+	if as.memoOK && vpn == as.memoVPN {
+		tr := as.memoTr
+		tr.PAddr = tr.Frame.Addr() | (vaddr & (PageSize - 1))
+		return tr, true
+	}
 	e, ok := as.pages[vpn]
 	if !ok {
 		return Translation{}, false
@@ -109,7 +124,7 @@ func (as *AddressSpace) Translate(vaddr uint64) (Translation, bool) {
 	top := vpn / l2TableSpan
 	second := vpn % l2TableSpan
 	tbl := as.tables[top]
-	return Translation{
+	tr := Translation{
 		PAddr:  e.frame.Addr() | (vaddr & (PageSize - 1)),
 		Frame:  e.frame,
 		Global: e.global,
@@ -117,7 +132,9 @@ func (as *AddressSpace) Translate(vaddr uint64) (Translation, bool) {
 			as.root.Addr() + (top%l2TableSpan)*8,
 			tbl.Addr() + second*8,
 		},
-	}, true
+	}
+	as.memoOK, as.memoVPN, as.memoTr = true, vpn, tr
+	return tr, true
 }
 
 // Frames enumerates every physical frame the address space references:

@@ -1,0 +1,5 @@
+package mi
+
+// EstimateNaive exposes the reference estimator to external tests that
+// check the binned fast path against it on real channel datasets.
+var EstimateNaive = estimateNaive

@@ -1,0 +1,316 @@
+// Linear-binned Gaussian KDE. The naive estimator evaluates, at every
+// grid point, a sum over every sample — O(grid × n) calls to exp per
+// class. The binned estimator deposits each sample's unit mass onto the
+// two nearest cells of a fine grid (linear binning), precomputes the
+// Gaussian kernel once at the fine-cell offsets, and evaluates each
+// density as a truncated discrete convolution — O(n + grid × kernel
+// width) with no exp in the inner loop. The fine grid is an odd
+// multiple of the integration grid so every integration point coincides
+// with a fine-cell centre, and its pitch is at most h/5, which keeps
+// the binning error orders of magnitude below the toolchain's millibit
+// resolution.
+package mi
+
+import (
+	"math"
+	"sync"
+)
+
+// fineGridCap bounds the fine-grid refinement factor; with the
+// bandwidth floored at span/1000 the derived factor never exceeds ~45.
+const fineGridCap = 63
+
+// kernelCut truncates the Gaussian kernel at kernelCut*h, where its
+// relative magnitude is exp(-kernelCut²/2) ≈ 1.3e-14.
+const kernelCut = 8.0
+
+// estimator holds the scratch buffers of one MI estimation, reused
+// across calls (and across the shuffle test's rounds) to keep the hot
+// path allocation-free.
+type estimator struct {
+	fine    []float64   // fine-grid sample masses, one class at a time
+	kern    []float64   // truncated kernel at fine-cell offsets
+	hs      []float64   // per-class bandwidths
+	densBuf []float64   // backing array for dens
+	dens    [][]float64 // per-class densities on the integration grid
+}
+
+// estimators pools scratch so Estimate stays allocation-free in steady
+// state while remaining safe under concurrent callers.
+var estimators = sync.Pool{New: func() any { return new(estimator) }}
+
+// estimate computes the uniform-input MI (bits) of the grouped outputs.
+// groups holds the outputs of each input class; all holds every output
+// (any order — only its min/max matter).
+func (e *estimator) estimate(groups [][]float64, all []float64) float64 {
+	if len(groups) < 2 || len(all) == 0 {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range all {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	span := hi - lo
+	if span == 0 {
+		return 0 // all outputs identical: nothing can be learned
+	}
+	floor := span / 1000
+	k := len(groups)
+	if cap(e.hs) < k {
+		e.hs = make([]float64, k)
+	}
+	hs := e.hs[:k]
+	maxH := 0.0
+	for i, xs := range groups {
+		h := silverman(xs, floor)
+		hs[i] = h
+		if h > maxH {
+			maxH = h
+		}
+	}
+	gLo, gHi := lo-3*maxH, hi+3*maxH
+	dy := (gHi - gLo) / gridPoints
+
+	if cap(e.densBuf) < k*gridPoints {
+		e.densBuf = make([]float64, k*gridPoints)
+	}
+	if cap(e.dens) < k {
+		e.dens = make([][]float64, k)
+	}
+	dens := e.dens[:k]
+	for i := range dens {
+		dens[i] = e.densBuf[i*gridPoints : (i+1)*gridPoints]
+	}
+	for i, xs := range groups {
+		e.binnedDensity(xs, hs[i], gLo, dy, dens[i])
+	}
+
+	// MI with uniform input weights 1/k.
+	w := 1 / float64(k)
+	miBits := 0.0
+	for g := 0; g < gridPoints; g++ {
+		py := 0.0
+		for i := 0; i < k; i++ {
+			py += w * dens[i][g]
+		}
+		if py <= 0 {
+			continue
+		}
+		for i := 0; i < k; i++ {
+			p := dens[i][g]
+			if p <= 0 {
+				continue
+			}
+			miBits += w * p * math.Log2(p/py) * dy
+		}
+	}
+	if miBits < 0 {
+		miBits = 0
+	}
+	return miBits
+}
+
+// binnedDensity evaluates the Gaussian KDE of xs with bandwidth h at
+// the gridPoints integration points (centres gLo+(g+0.5)dy) into out.
+func (e *estimator) binnedDensity(xs []float64, h, gLo, dy float64, out []float64) {
+	// Refine the fine grid until its pitch is at most h/5; odd factors
+	// keep the integration points on fine-cell centres.
+	factor := 1
+	if 5*dy > h {
+		factor = int(math.Ceil(5 * dy / h))
+		if factor%2 == 0 {
+			factor++
+		}
+		if factor > fineGridCap {
+			factor = fineGridCap
+		}
+	}
+	dyF := dy / float64(factor)
+	fineN := gridPoints * factor
+	// The kernel needs evaluating only once per fine-cell offset.
+	radius := int(math.Ceil(kernelCut * h / dyF))
+	if radius > fineN-1 {
+		radius = fineN - 1
+	}
+	if cap(e.kern) < radius+1 {
+		e.kern = make([]float64, radius+1)
+	}
+	kern := e.kern[:radius+1]
+	inv2h2 := 1 / (2 * h * h)
+	for t := range kern {
+		u := float64(t) * dyF
+		kern[t] = math.Exp(-u * u * inv2h2)
+	}
+	norm := 1 / (float64(len(xs)) * h * math.Sqrt(2*math.Pi))
+	half := (factor - 1) / 2
+
+	// Two equivalent evaluations of the same truncated convolution:
+	// gathering over fine cells costs grid × kernel width, scattering
+	// from the samples' binning cells costs n × (kernel width / factor).
+	// Wide bandwidths (factor 1, large radius) with small classes — the
+	// shuffle test's regime — favour the scatter form; dense classes on
+	// a refined grid favour the gather form.
+	gatherOps := gridPoints * (2*radius + 1)
+	scatterOps := len(xs) * 2 * (2*radius/factor + 1)
+	if scatterOps < gatherOps {
+		for g := range out {
+			out[g] = 0
+		}
+		for _, x := range xs {
+			pos := (x-gLo)/dyF - 0.5
+			j := int(math.Floor(pos))
+			frac := pos - float64(j)
+			if j < 0 {
+				j, frac = 0, 0
+			} else if j >= fineN-1 {
+				j, frac = fineN-2, 1
+			}
+			for c := 0; c < 2; c++ {
+				jb, mass := j+c, frac
+				if c == 0 {
+					mass = 1 - frac
+				}
+				if mass == 0 {
+					continue
+				}
+				// Coarse points g whose fine centre g*factor+half lies
+				// within radius of the binning cell jb.
+				gMin := (jb - radius - half + factor - 1) / factor
+				if jb-radius-half < 0 {
+					gMin = 0
+				}
+				gMax := (jb + radius - half) / factor
+				if gMax > gridPoints-1 {
+					gMax = gridPoints - 1
+				}
+				for g := gMin; g <= gMax; g++ {
+					t := g*factor + half - jb
+					if t < 0 {
+						t = -t
+					}
+					out[g] += mass * kern[t]
+				}
+			}
+		}
+		for g := range out {
+			out[g] *= norm
+		}
+		return
+	}
+
+	if cap(e.fine) < fineN {
+		e.fine = make([]float64, fineN)
+	}
+	fine := e.fine[:fineN]
+	for i := range fine {
+		fine[i] = 0
+	}
+	// Linear binning: split each sample's mass between the two
+	// enclosing fine-cell centres.
+	for _, x := range xs {
+		pos := (x-gLo)/dyF - 0.5
+		j := int(math.Floor(pos))
+		frac := pos - float64(j)
+		if j < 0 {
+			j, frac = 0, 0
+		} else if j >= fineN-1 {
+			j, frac = fineN-2, 1
+		}
+		fine[j] += 1 - frac
+		fine[j+1] += frac
+	}
+	for g := 0; g < gridPoints; g++ {
+		jc := g*factor + half
+		s := fine[jc] * kern[0]
+		t := radius
+		if jc < t {
+			t = jc
+		}
+		for ; t >= 1; t-- {
+			s += fine[jc-t] * kern[t]
+		}
+		t = radius
+		if fineN-1-jc < t {
+			t = fineN - 1 - jc
+		}
+		for ; t >= 1; t-- {
+			s += fine[jc+t] * kern[t]
+		}
+		out[g] = s * norm
+	}
+}
+
+// estimateNaive is the direct O(grid × samples) reference estimator the
+// binned fast path replaced; tests assert the two agree to within the
+// millibit resolution, and the benchmark pair documents the speedup.
+func estimateNaive(d *Dataset) float64 {
+	d.refreshGroups()
+	if len(d.memoGroups) < 2 || len(d.inputs) == 0 {
+		return 0
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range d.outputs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	span := hi - lo
+	if span == 0 {
+		return 0
+	}
+	floor := span / 1000
+	k := len(d.memoGroups)
+	type class struct {
+		xs []float64
+		h  float64
+	}
+	classes := make([]class, k)
+	maxH := 0.0
+	for i, xs := range d.memoGroups {
+		h := silverman(xs, floor)
+		classes[i] = class{xs: xs, h: h}
+		if h > maxH {
+			maxH = h
+		}
+	}
+	gLo, gHi := lo-3*maxH, hi+3*maxH
+	dy := (gHi - gLo) / gridPoints
+
+	dens := make([][]float64, k)
+	for i, c := range classes {
+		dens[i] = make([]float64, gridPoints)
+		norm := 1 / (float64(len(c.xs)) * c.h * math.Sqrt(2*math.Pi))
+		inv2h2 := 1 / (2 * c.h * c.h)
+		for g := 0; g < gridPoints; g++ {
+			y := gLo + (float64(g)+0.5)*dy
+			s := 0.0
+			for _, x := range c.xs {
+				dYX := y - x
+				s += math.Exp(-dYX * dYX * inv2h2)
+			}
+			dens[i][g] = s * norm
+		}
+	}
+	w := 1 / float64(k)
+	miBits := 0.0
+	for g := 0; g < gridPoints; g++ {
+		py := 0.0
+		for i := 0; i < k; i++ {
+			py += w * dens[i][g]
+		}
+		if py <= 0 {
+			continue
+		}
+		for i := 0; i < k; i++ {
+			p := dens[i][g]
+			if p <= 0 {
+				continue
+			}
+			miBits += w * p * math.Log2(p/py) * dy
+		}
+	}
+	if miBits < 0 {
+		miBits = 0
+	}
+	return miBits
+}

@@ -20,8 +20,8 @@ type ChannelMatrix struct {
 // Matrix bins the dataset's outputs into `bins` equal-width bins over
 // the observed range and returns the conditional distribution per input.
 func Matrix(d *Dataset, bins int) ChannelMatrix {
-	inputs := d.Inputs()
-	groups := d.byInput()
+	d.refreshGroups()
+	inputs := append([]int(nil), d.memoInputs...)
 	lo, hi := 0.0, 1.0
 	if d.N() > 0 {
 		lo, hi = d.outputs[0], d.outputs[0]
@@ -42,9 +42,9 @@ func Matrix(d *Dataset, bins int) ChannelMatrix {
 		edges[i] = lo + (hi-lo)*float64(i)/float64(bins)
 	}
 	m := ChannelMatrix{Inputs: inputs, BinEdges: edges}
-	for _, in := range inputs {
+	for s := range inputs {
 		row := make([]float64, bins)
-		xs := groups[in]
+		xs := d.memoGroups[s]
 		for _, x := range xs {
 			b := int(float64(bins) * (x - lo) / (hi - lo))
 			if b >= bins {

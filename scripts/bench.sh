@@ -1,0 +1,78 @@
+#!/bin/sh
+# bench.sh — run the Benchmark* suite and record the perf trajectory.
+#
+# Runs every benchmark with -benchmem, writes the results to
+# BENCH_<date>.json (benchmark name -> ns/op, B/op, allocs/op) in the
+# repo root, and prints a per-benchmark delta against the most recent
+# previous snapshot.
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 1s; use e.g. 1x for a
+#              quick single-iteration pass)
+#   BENCH      benchmark name regex (default '.')
+set -eu
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+BENCH="${BENCH:-.}"
+today="BENCH_$(date +%F).json"
+
+prev=""
+for f in $(ls BENCH_*.json 2>/dev/null | sort); do
+	[ "$f" = "$today" ] && continue
+	prev="$f"
+done
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "running benchmarks (benchtime $BENCHTIME)..." >&2
+go test -run '^$' -bench "$BENCH" -benchmem -benchtime "$BENCHTIME" ./... | tee "$raw" >&2
+
+# Benchmark output lines: name, iterations, then value/unit pairs
+# (ns/op, B/op, allocs/op, plus any custom metrics, which we skip).
+awk '
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)   # strip -GOMAXPROCS suffix
+	ns = b = al = ""
+	for (i = 3; i + 1 <= NF; i += 2) {
+		if ($(i+1) == "ns/op") ns = $i
+		else if ($(i+1) == "B/op") b = $i
+		else if ($(i+1) == "allocs/op") al = $i
+	}
+	if (ns != "") {
+		row = sprintf("  \"%s\": {\"ns_op\": %s, \"b_op\": %s, \"allocs_op\": %s}", \
+			name, ns, (b == "" ? 0 : b), (al == "" ? 0 : al))
+		rows[++n] = row
+	}
+}
+END {
+	print "{"
+	for (i = 1; i <= n; i++) print rows[i] (i < n ? "," : "")
+	print "}"
+}
+' "$raw" > "$today"
+echo "wrote $today" >&2
+
+if [ -n "$prev" ]; then
+	echo ""
+	echo "delta vs $prev (ns/op):"
+	awk -F'"' '
+	/ns_op/ {
+		name = $2
+		val = $0
+		sub(/.*"ns_op": /, "", val)
+		sub(/[,}].*/, "", val)
+		if (FILENAME == ARGV[1]) old[name] = val
+		else if (name in old && old[name] + 0 > 0) {
+			printf "  %-55s %14.0f -> %14.0f  (%+.1f%%)\n", \
+				name, old[name], val, (val - old[name]) / old[name] * 100
+		} else {
+			printf "  %-55s %14s -> %14.0f  (new)\n", name, "-", val
+		}
+	}
+	' "$prev" "$today"
+else
+	echo "no previous snapshot; $today is the baseline." >&2
+fi
