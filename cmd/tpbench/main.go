@@ -44,6 +44,7 @@ func main() {
 		samples    = flag.Int("samples", 150, "samples per channel measurement")
 		blocks     = flag.Int("blocks", 0, "Splash-2 work blocks (0 = benchmark default)")
 		seed       = flag.Int64("seed", 42, "deterministic seed")
+		metrics    = flag.Bool("metrics", false, "append a per-component cycle-accounting report to each artefact")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent experiment workers (output is identical for any value)")
 	)
 	flag.Parse()
@@ -63,7 +64,7 @@ func main() {
 
 	jobs := experiments.Plan(experiments.PlanSpec{
 		Platforms:  plats,
-		Base:       experiments.Config{Samples: *samples, SplashBlocks: *blocks, Seed: *seed},
+		Base:       experiments.Config{Samples: *samples, SplashBlocks: *blocks, Seed: *seed, Metrics: *metrics},
 		All:        *all,
 		Table:      *table,
 		Figure:     *figure,

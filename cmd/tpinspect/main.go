@@ -5,27 +5,51 @@
 // event trace. It is the "show me the partitioning actually happened"
 // tool.
 //
+// With -trace it additionally records the machine-wide event stream
+// (cache hits/misses/evictions, TLB and predictor outcomes, page walks,
+// kernel switch phases, channel samples) and writes it as Chrome
+// trace-event JSON, loadable in chrome://tracing or Perfetto. With
+// -metrics it prints the per-component cycle-accounting report.
+// -workload figure3 replays the paper's Figure 3 kernel covert channel
+// instead of the synthetic per-domain loads, so the traced switch
+// phases are the ones the paper's attack rides on.
+//
 // Usage:
 //
 //	tpinspect [-platform haswell|sabre] [-domains 2] [-slices 16]
+//	tpinspect -workload figure3 -scenario raw -trace fig3.json -metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 
+	"timeprotection/internal/channel"
 	"timeprotection/internal/core"
 	"timeprotection/internal/hw"
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/memory"
+	"timeprotection/internal/mi"
+	"timeprotection/internal/trace"
 )
+
+// traceRingCap bounds the per-core event ring when -trace is given: the
+// Chrome export keeps the newest ~1M events per core, plenty for a few
+// dozen time slices while bounding memory.
+const traceRingCap = 1 << 20
 
 func main() {
 	var (
-		platform = flag.String("platform", "haswell", "haswell or sabre")
-		domains  = flag.Int("domains", 2, "security domains")
-		slices   = flag.Int("slices", 16, "time slices to run before inspecting")
+		platform  = flag.String("platform", "haswell", "haswell or sabre")
+		domains   = flag.Int("domains", 2, "security domains")
+		slices    = flag.Int("slices", 16, "time slices to run before inspecting")
+		workload  = flag.String("workload", "synthetic", "synthetic (per-domain loads) or figure3 (kernel covert channel)")
+		scenario  = flag.String("scenario", "", "raw, fullflush or protected (default: protected; figure3 default: raw)")
+		traceFile = flag.String("trace", "", "write Chrome trace-event JSON to this file")
+		metrics   = flag.Bool("metrics", false, "print the per-component cycle-accounting report")
+		samples   = flag.Int("samples", 40, "channel samples for -workload figure3")
 	)
 	flag.Parse()
 	plat, ok := hw.PlatformByName(*platform)
@@ -33,11 +57,97 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
 		os.Exit(2)
 	}
+
+	// A sink is needed when either output was requested; events (the
+	// expensive part) only when -trace asks for the stream itself.
+	var sink *trace.Sink
+	if *traceFile != "" {
+		sink = trace.NewSink(traceRingCap)
+	} else if *metrics {
+		sink = trace.NewSink(0)
+	}
+
+	switch *workload {
+	case "synthetic":
+		sc, ok := scenarioByName(*scenario, kernel.ScenarioProtected)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+			os.Exit(2)
+		}
+		runSynthetic(plat, sc, *domains, *slices, sink)
+	case "figure3":
+		sc, ok := scenarioByName(*scenario, kernel.ScenarioRaw)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown scenario %q\n", *scenario)
+			os.Exit(2)
+		}
+		runFigure3(plat, sc, *samples, sink)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q (synthetic|figure3)\n", *workload)
+		os.Exit(2)
+	}
+
+	if *metrics {
+		fmt.Printf("\n%s", sink.MetricsReport())
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sink.WriteChrome(f, plat.ClockHz/1e6); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d trace events to %s\n", sink.Total(), *traceFile)
+	}
+}
+
+func scenarioByName(name string, dflt kernel.Scenario) (kernel.Scenario, bool) {
+	switch name {
+	case "":
+		return dflt, true
+	case "raw":
+		return kernel.ScenarioRaw, true
+	case "fullflush":
+		return kernel.ScenarioFullFlush, true
+	case "protected":
+		return kernel.ScenarioProtected, true
+	}
+	return 0, false
+}
+
+// runFigure3 replays the paper's Figure 3 kernel covert channel under
+// the requested scenario with the sink attached, and summarises the
+// leakage the samples carry.
+func runFigure3(plat hw.Platform, sc kernel.Scenario, samples int, sink *trace.Sink) {
+	ds, err := channel.RunKernelChannel(channel.Spec{
+		Platform: plat, Scenario: sc, Samples: samples, Seed: 42, Tracer: sink,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	m := mi.Analyze(ds, rand.New(rand.NewSource(42)))
+	fmt.Printf("=== %s, figure-3 kernel channel, %v ===\n\n", plat.Name, sc)
+	fmt.Printf("samples %d, %v\n", ds.N(), m)
+}
+
+// runSynthetic is the classic inspection flow: one small load per
+// domain, then print the partition map the mechanisms establish.
+func runSynthetic(plat hw.Platform, sc kernel.Scenario, domains, slices int, sink *trace.Sink) {
 	sys, err := core.NewSystem(core.Options{
 		Platform:  plat,
-		Scenario:  kernel.ScenarioProtected,
-		Domains:   *domains,
+		Scenario:  sc,
+		Domains:   domains,
 		TraceSize: 64,
+		Tracer:    sink,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -63,10 +173,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	sys.RunCoreFor(0, uint64(*slices)*sys.Timeslice())
+	sys.RunCoreFor(0, uint64(slices)*sys.Timeslice())
 
 	nCol := plat.Colours()
-	fmt.Printf("=== %s, %d domains, protected ===\n\n", plat.Name, *domains)
+	fmt.Printf("=== %s, %d domains, %v ===\n\n", plat.Name, domains, sc)
 
 	fmt.Println("Partition map:")
 	colourOwner := map[int]int{}

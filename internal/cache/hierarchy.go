@@ -1,5 +1,7 @@
 package cache
 
+import "timeprotection/internal/trace"
+
 // HierarchyConfig describes a full per-machine cache hierarchy.
 type HierarchyConfig struct {
 	Cores     int
@@ -115,7 +117,23 @@ type Hierarchy struct {
 
 	// dram is the optional row-buffer model (nil when disabled).
 	dram *DRAMState
+
+	// sink is the observability sink; nil (the default) disables all
+	// instrumentation, leaving one predicted branch per site.
+	// sinkEvents caches sink.EventsEnabled() so counter-only sinks skip
+	// event construction entirely on the access path.
+	sink       *trace.Sink
+	sinkEvents bool
 }
+
+// SetTracer attaches (or, with nil, detaches) the observability sink.
+func (h *Hierarchy) SetTracer(s *trace.Sink) {
+	h.sink = s
+	h.sinkEvents = s.EventsEnabled()
+}
+
+// Tracer returns the attached sink (nil when tracing is disabled).
+func (h *Hierarchy) Tracer() *trace.Sink { return h.sink }
 
 // DRAM returns the row-buffer state (nil when the model is disabled).
 func (h *Hierarchy) DRAM() *DRAMState { return h.dram }
@@ -270,8 +288,10 @@ func (h *Hierarchy) Fetch(core int, vaddr, paddr uint64) int {
 
 func (h *Hierarchy) access(core int, vaddr, paddr uint64, write, ifetch bool) int {
 	l1 := h.l1d[core]
+	l1u := trace.UnitL1D
 	if ifetch {
 		l1 = h.l1i[core]
+		l1u = trace.UnitL1I
 	}
 	idx := paddr
 	if l1.cfg.Virtual {
@@ -279,8 +299,18 @@ func (h *Hierarchy) access(core int, vaddr, paddr uint64, write, ifetch bool) in
 	}
 	cycles := l1.cfg.HitLatency
 	hit, ev := l1.Access(idx, paddr, write)
+	if h.sink != nil {
+		h.observe(core, l1u, l1, hit, ev, paddr, l1.cfg.HitLatency)
+	}
 	if ev.Valid && ev.Dirty {
 		cycles += h.cfg.WritebackLatency
+		if h.sink != nil {
+			h.sink.Unit(l1u).Writebacks++
+			h.sink.Unit(l1u).WritebackCycles += uint64(h.cfg.WritebackLatency)
+			if h.sinkEvents {
+				h.sink.Emit(core, trace.CacheWriteback, l1u, ev.Tag, 0)
+			}
+		}
 		h.fillLower(core, ev.Tag, true)
 	}
 	if hit {
@@ -291,24 +321,47 @@ func (h *Hierarchy) access(core int, vaddr, paddr uint64, write, ifetch bool) in
 		// The data prefetcher snoops demand accesses that missed the L1.
 		for _, pa := range h.dpf[core].OnAccess(paddr) {
 			evp := l2.FillMasked(pa, pa, false, h.maskFor(core, l2))
+			if h.sink != nil {
+				h.sink.Unit(trace.UnitPrefetch).Issues++
+				h.fillEvent(core, trace.UnitL2, trace.PrefetchIssue, pa, evp)
+			}
 			h.llcCheck(evp, l2)
 			if evp.Valid && evp.Dirty && h.l3 != nil {
 				// A prefetch fill displacing a dirty line still has to
 				// write it back.
-				h.llcCheck(h.l3.FillMasked(evp.Tag, evp.Tag, true, h.llcMask[core]), h.l3)
+				evw := h.l3.FillMasked(evp.Tag, evp.Tag, true, h.llcMask[core])
+				if h.sink != nil {
+					h.fillEvent(core, trace.UnitL3, trace.CacheWriteback, evp.Tag, evw)
+				}
+				h.llcCheck(evw, h.l3)
 			}
 			if h.l3 != nil {
-				h.llcCheck(h.l3.FillMasked(pa, pa, false, h.llcMask[core]), h.l3)
+				evp3 := h.l3.FillMasked(pa, pa, false, h.llcMask[core])
+				if h.sink != nil {
+					h.fillEvent(core, trace.UnitL3, trace.PrefetchIssue, pa, evp3)
+				}
+				h.llcCheck(evp3, h.l3)
 			}
 		}
 	}
 	cycles += l2.cfg.HitLatency
 	hit2, ev2 := l2.AccessMasked(paddr, paddr, false, h.maskFor(core, l2))
+	if h.sink != nil {
+		h.observe(core, trace.UnitL2, l2, hit2, ev2, paddr, l2.cfg.HitLatency)
+	}
 	h.llcCheck(ev2, l2)
 	if ev2.Valid && ev2.Dirty {
 		cycles += h.cfg.WritebackLatency
+		if h.sink != nil {
+			h.sink.Unit(trace.UnitL2).Writebacks++
+			h.sink.Unit(trace.UnitL2).WritebackCycles += uint64(h.cfg.WritebackLatency)
+		}
 		if h.l3 != nil {
-			h.llcCheck(h.l3.FillMasked(ev2.Tag, ev2.Tag, true, h.llcMask[core]), h.l3)
+			evw := h.l3.FillMasked(ev2.Tag, ev2.Tag, true, h.llcMask[core])
+			if h.sink != nil {
+				h.fillEvent(core, trace.UnitL3, trace.CacheWriteback, ev2.Tag, evw)
+			}
+			h.llcCheck(evw, h.l3)
 		}
 	}
 	if !hit2 && ifetch {
@@ -320,22 +373,112 @@ func (h *Hierarchy) access(core int, vaddr, paddr uint64, write, ifetch bool) in
 	if h.l3 != nil {
 		cycles += h.l3.cfg.HitLatency
 		hit3, ev3 := h.l3.AccessMasked(paddr, paddr, false, h.llcMask[core])
+		if h.sink != nil {
+			h.observe(core, trace.UnitL3, h.l3, hit3, ev3, paddr, h.l3.cfg.HitLatency)
+		}
 		h.llcCheck(ev3, h.l3)
 		if ev3.Valid && ev3.Dirty {
 			cycles += h.cfg.WritebackLatency
+			if h.sink != nil {
+				h.sink.Unit(trace.UnitL3).Writebacks++
+				h.sink.Unit(trace.UnitL3).WritebackCycles += uint64(h.cfg.WritebackLatency)
+			}
 		}
 		if hit3 {
 			return cycles
 		}
 	}
-	cycles += h.cfg.MemLatency + h.jitter()
+	mem := h.cfg.MemLatency + h.jitter()
 	if h.dram != nil {
-		cycles += h.dram.access(paddr)
+		rowHits := h.dram.RowHits
+		mem += h.dram.access(paddr)
+		if h.sink != nil {
+			d := h.sink.Unit(trace.UnitDRAM)
+			d.Accesses++
+			if h.dram.RowHits > rowHits {
+				d.Hits++
+				if h.sinkEvents {
+					h.sink.Emit(core, trace.DRAMRowHit, trace.UnitDRAM, paddr, 0)
+				}
+			} else {
+				d.Misses++
+				if h.sinkEvents {
+					h.sink.Emit(core, trace.DRAMRowMiss, trace.UnitDRAM, paddr, 0)
+				}
+			}
+		}
+	} else if h.sink != nil {
+		h.sink.Unit(trace.UnitDRAM).Accesses++
+	}
+	cycles += mem
+	if h.sink != nil {
+		h.sink.Unit(trace.UnitDRAM).Cycles += uint64(mem)
 	}
 	if h.MemHook != nil {
-		cycles += h.MemHook(core)
+		stall := h.MemHook(core)
+		cycles += stall
+		if h.sink != nil && stall > 0 {
+			h.sink.Unit(trace.UnitBus).Issues++
+			h.sink.Unit(trace.UnitBus).Cycles += uint64(stall)
+			if h.sinkEvents {
+				h.sink.Emit(core, trace.BusStall, trace.UnitBus, paddr, uint64(stall))
+			}
+		}
 	}
 	return cycles
+}
+
+// observe records one demand access outcome on unit u: the counters,
+// the hit latency, and (when events are retained) the hit/miss event
+// plus any eviction the access caused.
+func (h *Hierarchy) observe(core int, u trace.Unit, c *Cache, hit bool, ev Eviction, paddr uint64, hitLatency int) {
+	st := h.sink.Unit(u)
+	st.Accesses++
+	st.Cycles += uint64(hitLatency)
+	if hit {
+		st.Hits++
+	} else {
+		st.Misses++
+	}
+	if ev.Valid {
+		st.Evictions++
+	}
+	if !h.sinkEvents {
+		return
+	}
+	kind := trace.CacheMiss
+	if hit {
+		kind = trace.CacheHit
+	}
+	h.sink.Emit(core, kind, u, c.lineAddr(paddr), 0)
+	if ev.Valid {
+		var dirty uint64
+		if ev.Dirty {
+			dirty = 1
+		}
+		h.sink.Emit(core, trace.CacheEvict, u, ev.Tag, dirty)
+	}
+}
+
+// fillEvent records a non-demand fill into unit u (a prefetch or a
+// write-back install) and the eviction it displaced, so event replay
+// sees every line the fill made hittable and every line it removed.
+// Callers guard with h.sink != nil.
+func (h *Hierarchy) fillEvent(core int, u trace.Unit, kind trace.Kind, addr uint64, ev Eviction) {
+	if ev.Valid {
+		h.sink.Unit(u).Evictions++
+	}
+	if !h.sinkEvents {
+		return
+	}
+	h.sink.Emit(core, kind, u, addr, 0)
+	if ev.Valid {
+		var dirty uint64
+		if ev.Dirty {
+			dirty = 1
+		}
+		h.sink.Emit(core, trace.CacheEvict, u, ev.Tag, dirty)
+	}
 }
 
 // llcCheck enforces LLC inclusivity: when the last-level cache evicts a
@@ -348,10 +491,16 @@ func (h *Hierarchy) llcCheck(ev Eviction, from *Cache) {
 		return
 	}
 	for c := 0; c < h.cfg.Cores; c++ {
-		h.l1d[c].InvalidateTag(ev.Tag)
-		h.l1i[c].InvalidateTag(ev.Tag)
+		if h.l1d[c].InvalidateTag(ev.Tag) && h.sinkEvents {
+			h.sink.Emit(c, trace.CacheEvict, trace.UnitL1D, ev.Tag, 0)
+		}
+		if h.l1i[c].InvalidateTag(ev.Tag) && h.sinkEvents {
+			h.sink.Emit(c, trace.CacheEvict, trace.UnitL1I, ev.Tag, 0)
+		}
 		if h.cfg.L2Private {
-			h.l2[c].InvalidateTag(ev.Tag)
+			if h.l2[c].InvalidateTag(ev.Tag) && h.sinkEvents {
+				h.sink.Emit(c, trace.CacheEvict, trace.UnitL2, ev.Tag, 0)
+			}
 		}
 	}
 }
@@ -365,9 +514,18 @@ func (h *Hierarchy) instructionPrefetch(core int, paddr uint64) {
 	if h.iPrevLine[core]+1 == line {
 		next := (line + 1) * lineSize
 		l2 := h.L2For(core)
-		h.llcCheck(l2.FillMasked(next, next, false, h.maskFor(core, l2)), l2)
+		evp := l2.FillMasked(next, next, false, h.maskFor(core, l2))
+		if h.sink != nil {
+			h.sink.Unit(trace.UnitPrefetch).Issues++
+			h.fillEvent(core, trace.UnitL2, trace.PrefetchIssue, next, evp)
+		}
+		h.llcCheck(evp, l2)
 		if h.l3 != nil {
-			h.llcCheck(h.l3.FillMasked(next, next, false, h.llcMask[core]), h.l3)
+			evp3 := h.l3.FillMasked(next, next, false, h.llcMask[core])
+			if h.sink != nil {
+				h.fillEvent(core, trace.UnitL3, trace.PrefetchIssue, next, evp3)
+			}
+			h.llcCheck(evp3, h.l3)
 		}
 	}
 	h.iPrevLine[core] = line
@@ -387,9 +545,16 @@ func (h *Hierarchy) maskFor(core int, c *Cache) uint64 {
 func (h *Hierarchy) fillLower(core int, lineTag uint64, dirty bool) {
 	l2 := h.L2For(core)
 	ev := l2.FillMasked(lineTag, lineTag, dirty, h.maskFor(core, l2))
+	if h.sink != nil {
+		h.fillEvent(core, trace.UnitL2, trace.CacheWriteback, lineTag, ev)
+	}
 	h.llcCheck(ev, l2)
 	if ev.Valid && ev.Dirty && h.l3 != nil {
-		h.llcCheck(h.l3.FillMasked(ev.Tag, ev.Tag, true, h.llcMask[core]), h.l3)
+		evw := h.l3.FillMasked(ev.Tag, ev.Tag, true, h.llcMask[core])
+		if h.sink != nil {
+			h.fillEvent(core, trace.UnitL3, trace.CacheWriteback, ev.Tag, evw)
+		}
+		h.llcCheck(evw, h.l3)
 	}
 }
 
@@ -405,16 +570,46 @@ const (
 // and then calls TLBInsert.
 func (h *Hierarchy) TLBLevel(core int, vpn uint64, asid uint16, ifetch bool) int {
 	first := h.dtlb[core]
+	u := trace.UnitDTLB
 	if ifetch {
 		first = h.itlb[core]
+		u = trace.UnitITLB
 	}
 	if first.Lookup(vpn, asid) {
+		if h.sink != nil {
+			h.sink.Unit(u).Accesses++
+			h.sink.Unit(u).Hits++
+			if h.sinkEvents {
+				h.sink.Emit(core, trace.TLBHit, u, vpn, 0)
+			}
+		}
 		return TLBHitL1
 	}
 	if h.l2tlb[core].Lookup(vpn, asid) {
 		// Promote into the first level.
 		first.Insert(vpn, asid, false)
+		if h.sink != nil {
+			h.sink.Unit(u).Accesses++
+			h.sink.Unit(u).Misses++
+			l2t := h.sink.Unit(trace.UnitL2TLB)
+			l2t.Accesses++
+			l2t.Hits++
+			l2t.Cycles += uint64(h.cfg.L2TLBHitLatency)
+			if h.sinkEvents {
+				h.sink.Emit(core, trace.TLBHitL2, u, vpn, 0)
+			}
+		}
 		return TLBHitL2
+	}
+	if h.sink != nil {
+		h.sink.Unit(u).Accesses++
+		h.sink.Unit(u).Misses++
+		l2t := h.sink.Unit(trace.UnitL2TLB)
+		l2t.Accesses++
+		l2t.Misses++
+		if h.sinkEvents {
+			h.sink.Emit(core, trace.TLBMiss, u, vpn, 0)
+		}
 	}
 	return TLBMiss
 }
@@ -433,21 +628,62 @@ func (h *Hierarchy) TLBInsert(core int, vpn uint64, asid uint16, global, ifetch 
 // TLBFlush invalidates core's TLBs; global entries survive when
 // keepGlobal is set. Returns the total number of entries dropped.
 func (h *Hierarchy) TLBFlush(core int, keepGlobal bool) int {
-	n := h.itlb[core].FlushAll(keepGlobal)
-	n += h.dtlb[core].FlushAll(keepGlobal)
-	n += h.l2tlb[core].FlushAll(keepGlobal)
-	return n
+	ni := h.itlb[core].FlushAll(keepGlobal)
+	nd := h.dtlb[core].FlushAll(keepGlobal)
+	n2 := h.l2tlb[core].FlushAll(keepGlobal)
+	if h.sink != nil {
+		for _, fl := range [...]struct {
+			u trace.Unit
+			n int
+		}{{trace.UnitITLB, ni}, {trace.UnitDTLB, nd}, {trace.UnitL2TLB, n2}} {
+			st := h.sink.Unit(fl.u)
+			st.Flushes++
+			st.FlushedLines += uint64(fl.n)
+			if h.sinkEvents {
+				h.sink.Emit(core, trace.TLBFlush, fl.u, uint64(fl.n), 0)
+			}
+		}
+	}
+	return ni + nd + n2
 }
 
 // Branch resolves a taken/indirect branch through core's BTB.
 func (h *Hierarchy) Branch(core int, pc, target uint64) int {
-	return h.btb[core].Branch(pc, target)
+	p := h.btb[core].Branch(pc, target)
+	if h.sink != nil {
+		h.predictorEvent(core, trace.UnitBTB, pc, p)
+	}
+	return p
 }
 
 // CondBranch resolves a conditional branch through core's history
 // predictor.
 func (h *Hierarchy) CondBranch(core int, pc uint64, taken bool) int {
-	return h.bhb[core].CondBranch(pc, taken)
+	p := h.bhb[core].CondBranch(pc, taken)
+	if h.sink != nil {
+		h.predictorEvent(core, trace.UnitBHB, pc, p)
+	}
+	return p
+}
+
+// predictorEvent records a branch prediction outcome; penalty 0 is a
+// correct prediction, anything else a misprediction costing that many
+// cycles. Callers guard with h.sink != nil.
+func (h *Hierarchy) predictorEvent(core int, u trace.Unit, pc uint64, penalty int) {
+	st := h.sink.Unit(u)
+	st.Accesses++
+	if penalty == 0 {
+		st.Hits++
+		if h.sinkEvents {
+			h.sink.Emit(core, trace.BranchHit, u, pc, 0)
+		}
+		return
+	}
+	st.Misses++
+	st.Cycles += uint64(penalty)
+	if h.sinkEvents {
+		h.sink.Emit(core, trace.BranchMiss, u, pc, uint64(penalty))
+	}
 }
 
 // L2TLBHitLatency exposes the configured L2-TLB hit cost.

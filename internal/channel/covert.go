@@ -1,11 +1,21 @@
 package channel
 
 import (
+	"math"
 	"math/rand"
 
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/mi"
+	"timeprotection/internal/trace"
 )
+
+// emit records a channel-protocol trace event when the system the
+// program runs on has event recording enabled.
+func emit(e *kernel.Env, kind trace.Kind, addr, arg uint64) {
+	if t := e.Kernel().Tracer; t != nil && t.EventsEnabled() {
+		t.Emit(e.Core(), kind, trace.UnitChannel, addr, arg)
+	}
+}
 
 // slicePhase detects the first Step of each new time slice by watching
 // for large jumps of the cycle counter (the thread was offline).
@@ -70,6 +80,7 @@ func (s *Sender) Step(e *kernel.Env) bool {
 		s.previous = s.current
 		s.current = s.rng.Intn(s.Symbols)
 		s.sentCount++
+		emit(e, trace.ChannelSymbol, uint64(s.current), 0)
 		s.Act(e, s.current)
 	} else {
 		e.Spin(idleSpin)
@@ -114,7 +125,10 @@ func (r *Receiver) Done() bool { return r.ds.N() >= r.target }
 func (r *Receiver) Step(e *kernel.Env) bool {
 	if r.phase.newSlice(e) {
 		if r.sender.Sent() && !r.Done() {
+			sym := uint64(r.sender.Current())
+			emit(e, trace.ChannelSampleBegin, sym, 0)
 			v := r.Measure(e)
+			emit(e, trace.ChannelSampleEnd, sym, math.Float64bits(v))
 			if r.warmup > 0 {
 				r.warmup--
 			} else {

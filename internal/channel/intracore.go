@@ -8,6 +8,7 @@ import (
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/memory"
 	"timeprotection/internal/mi"
+	"timeprotection/internal/trace"
 )
 
 // Resource identifies the microarchitectural state an intra-core channel
@@ -59,6 +60,9 @@ type Spec struct {
 	// FuzzyGrainCycles quantises the attacker-visible clock (footnote-4
 	// countermeasure study). Zero = precise.
 	FuzzyGrainCycles uint64
+	// Tracer attaches a machine-wide observability sink to the system
+	// the channel runs on (nil = tracing disabled).
+	Tracer *trace.Sink
 }
 
 func (s Spec) withDefaults() Spec {
@@ -81,6 +85,7 @@ func buildSystem(s Spec) (*core.System, error) {
 		TimesliceMicros:       s.TimesliceMicros,
 		PadMicros:             s.PadMicros,
 		FuzzyClockGrainCycles: s.FuzzyGrainCycles,
+		Tracer:                s.Tracer,
 	})
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ import (
 	"timeprotection/internal/hw"
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/memory"
+	"timeprotection/internal/trace"
 )
 
 // Options configures a System.
@@ -49,6 +50,11 @@ type Options struct {
 
 	// TraceSize enables the kernel event trace ring (0 = disabled).
 	TraceSize int
+
+	// Tracer attaches a machine-wide observability sink at boot (nil =
+	// tracing disabled). Unlike TraceSize's kernel-only ring, it records
+	// events and counters from every simulator component.
+	Tracer *trace.Sink
 
 	// SharedColours reserves this many colours for cross-domain shared
 	// memory before the per-domain split (§6.1: "shared memory can be set
@@ -105,6 +111,9 @@ func NewSystem(opts Options) (*System, error) {
 	k, err := kernel.Boot(plat, cfg)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Tracer != nil {
+		k.AttachTracer(opts.Tracer)
 	}
 	s := &System{K: k, Opts: opts}
 

@@ -40,7 +40,7 @@ func Ablations(cfg Config) (AblationResult, error) {
 	cfg = cfg.withDefaults()
 	res := AblationResult{Platform: cfg.Platform.Name}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	spec := channel.Spec{Platform: cfg.Platform, Samples: cfg.Samples, Seed: cfg.Seed}
+	spec := channel.Spec{Platform: cfg.Platform, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer}
 
 	// D1: shared kernel vs cloned kernels, via the syscall channel.
 	spec.Scenario = kernel.ScenarioRaw

@@ -46,7 +46,7 @@ func (r CATResult) Render() string {
 func CAT(cfg Config) (CATResult, error) {
 	cfg = cfg.withDefaults()
 	res := CATResult{Platform: cfg.Platform.Name}
-	spec := channel.Spec{Platform: cfg.Platform, Scenario: kernel.ScenarioRaw, Samples: cfg.Samples, Seed: cfg.Seed}
+	spec := channel.Spec{Platform: cfg.Platform, Scenario: kernel.ScenarioRaw, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer}
 	var err error
 	if res.Raw, err = channel.RunLLCSideChannel(spec); err != nil {
 		return res, err

@@ -51,7 +51,7 @@ func Checks(cfg Config) ([]Check, error) {
 	runIntra := func(sc kernel.Scenario, res channel.Resource, disablePF bool) (mi.Result, error) {
 		ds, err := channel.RunIntraCore(channel.Spec{
 			Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples,
-			Seed: cfg.Seed, DisablePrefetcher: disablePF,
+			Seed: cfg.Seed, DisablePrefetcher: disablePF, Tracer: cfg.Tracer,
 		}, res)
 		if err != nil {
 			return mi.Result{}, err
@@ -85,7 +85,7 @@ func Checks(cfg Config) ([]Check, error) {
 	// Kernel channel (Figure 3).
 	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioProtected} {
 		ds, err := channel.RunKernelChannel(channel.Spec{
-			Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed,
+			Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -99,7 +99,7 @@ func Checks(cfg Config) ([]Check, error) {
 	}
 
 	// Flush channel (Table 4) without and with padding.
-	spec := channel.Spec{Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed}
+	spec := channel.Spec{Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer}
 	noPad, err := channel.RunFlushChannel(spec)
 	if err != nil {
 		return nil, err
@@ -128,7 +128,7 @@ func Checks(cfg Config) ([]Check, error) {
 	// LLC side channel (Figure 4) — x86 only.
 	if cfg.Platform.Arch == "x86" {
 		raw, err := channel.RunLLCSideChannel(channel.Spec{
-			Platform: cfg.Platform, Scenario: kernel.ScenarioRaw, Samples: cfg.Samples, Seed: cfg.Seed,
+			Platform: cfg.Platform, Scenario: kernel.ScenarioRaw, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -139,7 +139,7 @@ func Checks(cfg Config) ([]Check, error) {
 			Detail: fmt.Sprintf("accuracy %.1f%%", raw.Accuracy*100),
 		})
 		prot, err := channel.RunLLCSideChannel(channel.Spec{
-			Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed,
+			Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -152,7 +152,7 @@ func Checks(cfg Config) ([]Check, error) {
 
 		// Beyond-reach channels must stay open even under protection.
 		bus, err := channel.RunBusChannel(channel.Spec{
-			Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed,
+			Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer,
 		}, false)
 		if err != nil {
 			return nil, err

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"strings"
+	"testing"
+
+	"timeprotection/internal/hw"
+)
+
+// TestPlanDeterministicAcrossWorkers is the golden determinism gate:
+// the full artefact plan (with per-job metrics sinks, the stateful part
+// most at risk under concurrency) must produce byte-identical output at
+// one worker and at eight. Every simulator layer feeds this digest —
+// a data race, an iteration-order dependency, or cross-job sink sharing
+// would change it.
+func TestPlanDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the whole artefact plan twice")
+	}
+	spec := PlanSpec{
+		Platforms: []hw.Platform{hw.Haswell()},
+		Base:      Config{Samples: 40, SplashBlocks: 400, Seed: 42, Table8Slices: 4, Metrics: true},
+		All:       true,
+	}
+	digest := func(parallel int) [32]byte {
+		var sb strings.Builder
+		if err := RunJobs(Plan(spec), parallel, &sb); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "Component metrics") {
+			t.Fatalf("parallel=%d: metrics report missing from output", parallel)
+		}
+		return sha256.Sum256([]byte(out))
+	}
+	if d1, d8 := digest(1), digest(8); d1 != d8 {
+		t.Fatalf("plan output differs between 1 and 8 workers: %x vs %x", d1, d8)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"timeprotection/internal/hw"
+	"timeprotection/internal/trace"
 )
 
 // Config scales an experiment run.
@@ -26,6 +27,15 @@ type Config struct {
 	// Table8Slices overrides the time-shared study's throughput horizon
 	// (in 2 ms slices; 0 = 24). Tests shrink it for speed.
 	Table8Slices int
+	// Metrics appends a per-component cycle-accounting report to each
+	// job's output, collected through a per-job counters-only sink
+	// (tpbench -metrics).
+	Metrics bool
+	// Tracer, when non-nil, is attached to every system the experiment
+	// builds. Experiments run systems sequentially, so one sink safely
+	// aggregates a whole job; distinct concurrent jobs need distinct
+	// sinks (Plan creates one per job when Metrics is set).
+	Tracer *trace.Sink
 }
 
 // withDefaults fills zero fields.

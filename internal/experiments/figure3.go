@@ -71,7 +71,7 @@ func Figure3(cfg Config) (Figure3Result, error) {
 	cfg = cfg.withDefaults()
 	res := Figure3Result{Platform: cfg.Platform.Name}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	spec := channel.Spec{Platform: cfg.Platform, Samples: cfg.Samples, Seed: cfg.Seed}
+	spec := channel.Spec{Platform: cfg.Platform, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer}
 
 	spec.Scenario = kernel.ScenarioRaw
 	raw, err := channel.RunKernelChannel(spec)

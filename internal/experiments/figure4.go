@@ -59,7 +59,7 @@ func (r Figure4Result) Render() string {
 func Figure4(cfg Config) (Figure4Result, error) {
 	cfg = cfg.withDefaults()
 	res := Figure4Result{Platform: cfg.Platform.Name}
-	spec := channel.Spec{Platform: cfg.Platform, Samples: cfg.Samples, Seed: cfg.Seed}
+	spec := channel.Spec{Platform: cfg.Platform, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer}
 	var err error
 	spec.Scenario = kernel.ScenarioRaw
 	if res.Raw, err = channel.RunLLCSideChannel(spec); err != nil {

@@ -54,7 +54,7 @@ func Table4(cfg Config) (Table4Result, error) {
 	res := Table4Result{Platform: cfg.Platform.Name, PadMicros: pad, OfflineBySymbol: map[int]float64{}}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	spec := channel.Spec{Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed}
+	spec := channel.Spec{Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer}
 	noPad, err := channel.RunFlushChannel(spec)
 	if err != nil {
 		return res, err
@@ -112,7 +112,7 @@ func Figure6(cfg Config) (Figure6Result, error) {
 	cfg = cfg.withDefaults()
 	res := Figure6Result{Platform: cfg.Platform.Name, OnlineBySymbol: map[int]float64{}}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	spec := channel.Spec{Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed}
+	spec := channel.Spec{Platform: cfg.Platform, Scenario: kernel.ScenarioProtected, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer}
 
 	open, err := channel.RunInterruptChannel(spec, false)
 	if err != nil {

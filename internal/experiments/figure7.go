@@ -58,6 +58,7 @@ func Figure7(cfg Config) (Figure7Result, error) {
 				Platform:       cfg.Platform,
 				Scenario:       sc,
 				ColourFraction: frac,
+				Tracer:         cfg.Tracer,
 			})
 		}
 		base, err := run(kernel.ScenarioRaw, 0)

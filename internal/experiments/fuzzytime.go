@@ -51,7 +51,7 @@ func FuzzyTime(cfg Config) (FuzzyTimeResult, error) {
 	for _, grain := range []uint64{0, 1024, 16384, 131072} {
 		ds, err := channel.RunIntraCore(channel.Spec{
 			Platform: cfg.Platform, Scenario: kernel.ScenarioRaw,
-			Samples: cfg.Samples, Seed: cfg.Seed,
+			Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer,
 			FuzzyGrainCycles: grain,
 		}, channel.L1D)
 		if err != nil {

@@ -57,7 +57,7 @@ func Interconnect(cfg Config) (InterconnectResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	run := func(sc kernel.Scenario, mba bool) (mi.Result, error) {
 		ds, err := channel.RunBusChannel(channel.Spec{
-			Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed,
+			Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer,
 		}, mba)
 		if err != nil {
 			return mi.Result{}, err
@@ -83,7 +83,7 @@ func Interconnect(cfg Config) (InterconnectResult, error) {
 	}
 	runDRAM := func(sc kernel.Scenario) (mi.Result, error) {
 		ds, err := channel.RunDRAMChannel(channel.Spec{
-			Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed,
+			Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return mi.Result{}, err

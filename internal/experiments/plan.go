@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"timeprotection/internal/hw"
+	"timeprotection/internal/trace"
 )
 
 // ErrCheckFailed is returned by a -check job whose security verdicts do
@@ -117,13 +118,7 @@ func Plan(spec PlanSpec) []Job {
 			render := a.render
 			jobs = append(jobs, Job{
 				Name: a.name + "/" + plat.Name,
-				Run: func() (string, error) {
-					s, err := render(cfg)
-					if err != nil {
-						return "", err
-					}
-					return s + "\n", nil
-				},
+				Run:  func() (string, error) { return runWithMetrics(cfg, render) },
 			})
 		}
 		if spec.Check {
@@ -146,4 +141,25 @@ func Plan(spec PlanSpec) []Job {
 		}
 	}
 	return jobs
+}
+
+// runWithMetrics invokes one artefact renderer; when Config.Metrics asks
+// for component accounting and no sink was supplied, it gives the job a
+// private counters-only sink and appends the metrics report. Jobs run
+// single-goroutine, so the per-job sink needs no synchronisation even
+// when RunJobs runs jobs in parallel.
+func runWithMetrics(cfg Config, render func(Config) (string, error)) (string, error) {
+	var sink *trace.Sink
+	if cfg.Metrics && cfg.Tracer == nil {
+		sink = trace.NewSink(0)
+		cfg.Tracer = sink
+	}
+	s, err := render(cfg)
+	if err != nil {
+		return "", err
+	}
+	if sink != nil {
+		s += "\n" + sink.MetricsReport()
+	}
+	return s + "\n", nil
 }

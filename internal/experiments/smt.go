@@ -43,7 +43,7 @@ func SMT(cfg Config) (SMTResult, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioFullFlush, kernel.ScenarioProtected} {
 		ds, err := channel.RunSMTChannel(channel.Spec{
-			Platform: hw.HaswellSMT(), Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed,
+			Platform: hw.HaswellSMT(), Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer,
 		})
 		if err != nil {
 			return res, err

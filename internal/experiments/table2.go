@@ -40,6 +40,9 @@ func Table2(cfg Config) (Table2Result, error) {
 		if err != nil {
 			return 0, 0, err
 		}
+		if cfg.Tracer != nil {
+			k.AttachTracer(cfg.Tracer)
+		}
 		m := k.M
 		lineSize := uint64(plat.Hierarchy.L1D.LineSize)
 		// Application working set: the size of the flushed cache.

@@ -64,7 +64,7 @@ func Table3(cfg Config) (Table3Result, error) {
 		row := Table3Row{Resource: r.String()}
 		for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioFullFlush, kernel.ScenarioProtected} {
 			ds, err := channel.RunIntraCore(channel.Spec{
-				Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed,
+				Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer,
 			}, r)
 			if err != nil {
 				return res, fmt.Errorf("%v %v: %w", r, sc, err)
@@ -85,6 +85,7 @@ func Table3(cfg Config) (Table3Result, error) {
 		ds, err := channel.RunIntraCore(channel.Spec{
 			Platform: cfg.Platform, Scenario: kernel.ScenarioProtected,
 			Samples: cfg.Samples, Seed: cfg.Seed, DisablePrefetcher: true,
+			Tracer: cfg.Tracer,
 		}, channel.L2)
 		if err != nil {
 			return res, err

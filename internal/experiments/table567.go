@@ -35,7 +35,7 @@ func Table5(cfg Config) (Table5Result, error) {
 	cfg = cfg.withDefaults()
 	res := Table5Result{Platform: cfg.Platform.Name, Cycles: map[workload.IPCVariant]float64{}}
 	for _, v := range workload.IPCVariants() {
-		c, err := workload.MeasureIPC(cfg.Platform, v)
+		c, err := workload.MeasureIPC(cfg.Platform, v, cfg.Tracer)
 		if err != nil {
 			return res, fmt.Errorf("%v: %w", v, err)
 		}
@@ -119,7 +119,7 @@ func Table6(cfg Config) (Table6Result, error) {
 	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioFullFlush, kernel.ScenarioProtected} {
 		res.Micros[sc] = map[string]float64{}
 		for _, w := range wls {
-			sys, err := core.NewSystem(core.Options{Platform: plat, Scenario: sc})
+			sys, err := core.NewSystem(core.Options{Platform: plat, Scenario: sc, Tracer: cfg.Tracer})
 			if err != nil {
 				return res, err
 			}
@@ -198,6 +198,9 @@ func Table7(cfg Config) (Table7Result, error) {
 	k, err := kernel.Boot(plat, kernel.Config{Scenario: kernel.ScenarioProtected, CloneSupport: true})
 	if err != nil {
 		return res, err
+	}
+	if cfg.Tracer != nil {
+		k.AttachTracer(cfg.Tracer)
 	}
 	pool := memory.NewPool(k.M.Alloc, memory.SplitColours(plat.Colours(), 2)[0])
 	km, err := k.NewKernelMemory(pool)

@@ -57,7 +57,7 @@ func Table8(cfg Config) (Table8Result, error) {
 		for _, spec := range workload.Splash2() {
 			base, err := workload.RunSplashThroughput(spec, workload.SplashConfig{
 				Platform: cfg.Platform, Scenario: kernel.ScenarioRaw,
-				TimeShared: true, TimesliceMicros: slice,
+				TimeShared: true, TimesliceMicros: slice, Tracer: cfg.Tracer,
 			}, horizon)
 			if err != nil {
 				return st, err
@@ -67,6 +67,7 @@ func Table8(cfg Config) (Table8Result, error) {
 			prot, err := workload.RunSplashThroughput(spec, workload.SplashConfig{
 				Platform: cfg.Platform, Scenario: kernel.ScenarioProtected,
 				TimeShared: true, PadMicros: padMicros, TimesliceMicros: slice,
+				Tracer: cfg.Tracer,
 			}, horizon)
 			if err != nil {
 				return st, err

@@ -5,6 +5,7 @@ import (
 
 	"timeprotection/internal/cache"
 	"timeprotection/internal/memory"
+	"timeprotection/internal/trace"
 )
 
 // Core is one hardware thread of the machine. Now is its cycle counter
@@ -48,6 +49,19 @@ func NewMachine(plat Platform) *Machine {
 	return m
 }
 
+// AttachTracer wires the observability sink into the machine: the
+// hierarchy starts emitting, and event timestamps read the emitting
+// core's cycle counter. Pass nil to detach.
+func (m *Machine) AttachTracer(s *trace.Sink) {
+	m.Hier.SetTracer(s)
+	if s != nil {
+		s.Clock = func(core int) uint64 { return m.Cores[core].Now }
+	}
+}
+
+// Tracer returns the attached sink (nil when tracing is disabled).
+func (m *Machine) Tracer() *trace.Sink { return m.Hier.Tracer() }
+
 // AttachBus routes every DRAM access through a shared-interconnect
 // model; contention cycles are charged to the accessing core. Detach by
 // passing nil.
@@ -90,6 +104,14 @@ func (m *Machine) translate(core int, as *memory.AddressSpace, vaddr uint64, ife
 		cycles += m.Hier.Data(core, w, w, false)
 	}
 	m.Hier.TLBInsert(core, vpn, as.ASID(), tr.Global, ifetch)
+	if s := m.Hier.Tracer(); s != nil {
+		w := s.Unit(trace.UnitWalk)
+		w.Issues++
+		w.Cycles += uint64(cycles)
+		if s.EventsEnabled() {
+			s.Emit(core, trace.PageWalk, trace.UnitWalk, vpn, uint64(cycles))
+		}
+	}
 	return tr.PAddr, cycles
 }
 

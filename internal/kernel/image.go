@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"timeprotection/internal/memory"
+	"timeprotection/internal/trace"
 )
 
 // Kernel virtual layout. Every image maps the same kernel virtual
@@ -267,6 +268,7 @@ func (k *Kernel) Clone(core int, src *Image, mem *KernelMemory) (*Image, error) 
 	src.children = append(src.children, img)
 	k.Images = append(k.Images, img)
 	k.trace(EvClone, core, src.ID, img.ID)
+	k.emit(core, trace.KernelClone, uint64(src.ID), uint64(img.ID))
 	return img, nil
 }
 
@@ -309,6 +311,7 @@ func (k *Kernel) DestroyImage(core int, img *Image) error {
 	}
 	img.zombie = true
 	k.trace(EvDestroy, core, img.ID, 0)
+	k.emit(core, trace.KernelDestroy, uint64(img.ID), 0)
 
 	// system_stall: IPI every core the zombie runs on; they reschedule
 	// onto the boot kernel's idle thread and invalidate their TLBs.

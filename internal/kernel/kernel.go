@@ -6,6 +6,7 @@ import (
 	"timeprotection/internal/cache"
 	"timeprotection/internal/hw"
 	"timeprotection/internal/memory"
+	"timeprotection/internal/trace"
 )
 
 // Scenario selects the mitigation configuration of paper §5.2.
@@ -126,7 +127,61 @@ type Kernel struct {
 	// Trace is the kernel event ring (see Config.TraceSize).
 	Trace *Trace
 
+	// Tracer is the machine-wide observability sink (nil = disabled).
+	// Unlike the kernel-only Trace ring above, it spans the whole
+	// simulator; attach it with AttachTracer so the hierarchy and clock
+	// are wired up too.
+	Tracer *trace.Sink
+
 	Metrics Metrics
+}
+
+// AttachTracer wires the observability sink through the kernel and its
+// machine. Pass nil to detach.
+func (k *Kernel) AttachTracer(s *trace.Sink) {
+	k.Tracer = s
+	k.M.AttachTracer(s)
+}
+
+// emit records one kernel-unit trace event when event recording is on.
+func (k *Kernel) emit(core int, kind trace.Kind, addr, arg uint64) {
+	if k.Tracer != nil && k.Tracer.EventsEnabled() {
+		k.Tracer.Emit(core, kind, trace.UnitKernel, addr, arg)
+	}
+}
+
+// stampDomain publishes core's current security domain to the tracer.
+// On a mitigated domain switch this is called only after the flush and
+// shared-data prefetch complete, so kernel work inside the switch stays
+// attributed to the outgoing domain and a post-flush replay sees a
+// clean slate for the incoming one.
+func (k *Kernel) stampDomain(core int) {
+	if k.Tracer != nil {
+		k.Tracer.SetDomain(core, k.cores[core].curDomain)
+	}
+}
+
+// kSpin advances the core like hw.Machine.Spin and attributes the
+// cycles to the kernel unit (fixed pipeline costs of traps, flush
+// operations, timer programming).
+func (k *Kernel) kSpin(core, n int) {
+	k.M.Spin(core, n)
+	if k.Tracer != nil {
+		k.Tracer.Unit(trace.UnitKernel).Cycles += uint64(n)
+	}
+}
+
+// flushEvent records one architected cache/predictor flush on unit u.
+func (k *Kernel) flushEvent(core int, u trace.Unit, valid, dirty int) {
+	if k.Tracer == nil {
+		return
+	}
+	st := k.Tracer.Unit(u)
+	st.Flushes++
+	st.FlushedLines += uint64(valid)
+	if k.Tracer.EventsEnabled() {
+		k.Tracer.Emit(core, trace.CacheFlush, u, uint64(valid), uint64(dirty))
+	}
 }
 
 type irqBinding struct {

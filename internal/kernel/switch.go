@@ -1,6 +1,9 @@
 package kernel
 
-import "timeprotection/internal/memory"
+import (
+	"timeprotection/internal/memory"
+	"timeprotection/internal/trace"
+)
 
 // Fixed pipeline costs (cycles) for mode transitions and privileged
 // operations that are not memory traffic.
@@ -61,6 +64,7 @@ func (k *Kernel) stepOnce(core int, until uint64) bool {
 		t = k.sched.PickNext(core, c.Now)
 		if t != nil {
 			k.dispatch(core, t)
+			k.stampDomain(core)
 			return true
 		}
 		// Idle: fast-forward to the next event the core can observe.
@@ -122,6 +126,7 @@ func (k *Kernel) dispatch(core int, t *TCB) {
 	if t.Image != cs.curImage {
 		k.Metrics.KernelSwitches++
 		k.trace(EvKernelSwitch, core, cs.curImage.ID, t.Image.ID)
+		k.emit(core, trace.KernelSwitch, uint64(cs.curImage.ID), uint64(t.Image.ID))
 		if k.Cfg.Scenario == ScenarioProtected {
 			k.maskInterrupts(core)
 		}
@@ -159,9 +164,10 @@ func (k *Kernel) tick(core int) {
 	cs.tickStart = cs.nextTick
 	k.Metrics.Ticks++
 	k.trace(EvTick, core, cs.curDomain, 0)
+	k.emit(core, trace.KernelTick, uint64(cs.curDomain), 0)
 
 	// Step 1: acquire the kernel lock.
-	k.M.Spin(core, trapEntryCost)
+	k.kSpin(core, trapEntryCost)
 	k.kDataShared(core, k.Shared.LockAddr(), true)
 	// Step 2: process the timer tick normally.
 	k.execText(core, img, sysTextTick, sysTextTickLen)
@@ -179,6 +185,7 @@ func (k *Kernel) tick(core int) {
 	if domainSwitch {
 		k.Metrics.DomainSwitches++
 		k.trace(EvDomainSwitch, core, cs.curDomain, next.Domain)
+		k.emit(core, trace.DomainSwitchBegin, uint64(cs.curDomain), uint64(next.Domain))
 		switchStart := k.M.Cores[core].Now
 
 		// Steps 3-5: mask interrupts, switch stack and thread context
@@ -192,15 +199,25 @@ func (k *Kernel) tick(core int) {
 		switch k.Cfg.Scenario {
 		case ScenarioProtected:
 			k.trace(EvFlush, core, 0, 0)
+			k.emit(core, trace.FlushBegin, 0, 0)
+			flushStart := k.M.Cores[core].Now
 			k.FlushOnCore(core, cs.curImage)
+			k.emit(core, trace.FlushEnd, k.M.Cores[core].Now-flushStart, 0)
 		case ScenarioFullFlush:
 			k.trace(EvFlush, core, 1, 0)
+			k.emit(core, trace.FlushBegin, 1, 0)
+			flushStart := k.M.Cores[core].Now
 			k.FullFlush(core)
+			k.emit(core, trace.FlushEnd, k.M.Cores[core].Now-flushStart, 0)
 		}
 		// Step 9: prefetch the shared kernel data.
 		if k.Cfg.Scenario == ScenarioProtected {
 			k.prefetchShared(core)
 		}
+		// The mitigation suite is complete: kernel work up to here ran on
+		// residue of the outgoing domain, from here on the incoming
+		// domain owns the core.
+		k.stampDomain(core)
 		k.Metrics.LastDomainSwitchCycles = k.M.Cores[core].Now - switchStart
 		// Step 10: poll the cycle counter for the configured latency.
 		// The padding attribute is taken from the kernel active prior to
@@ -208,11 +225,21 @@ func (k *Kernel) tick(core int) {
 		if k.Cfg.Scenario == ScenarioProtected && img.PadCycles > 0 {
 			deadline := cs.tickStart + img.PadCycles
 			if k.M.Cores[core].Now < deadline {
-				k.trace(EvPad, core, int(deadline-k.M.Cores[core].Now), 0)
+				pad := deadline - k.M.Cores[core].Now
+				k.trace(EvPad, core, int(pad), 0)
+				if k.Tracer != nil {
+					k.Tracer.PadCount++
+					k.Tracer.PadCycles += pad
+					if k.Tracer.EventsEnabled() {
+						k.Tracer.Emit(core, trace.Pad, trace.UnitKernel, pad, 0)
+					}
+				}
 				k.M.Cores[core].Now = deadline
 			}
 		}
 		k.Metrics.LastDomainSwitchPadded = k.M.Cores[core].Now - switchStart
+		k.emit(core, trace.DomainSwitchEnd,
+			k.Metrics.LastDomainSwitchCycles, k.M.Cores[core].Now-cs.tickStart)
 	} else {
 		// Ordinary same-domain preemption: just switch threads.
 		if next != nil {
@@ -224,14 +251,14 @@ func (k *Kernel) tick(core int) {
 	// Step 11: reprogram the timer interrupt. Under the static domain
 	// schedule the next tick aligns to the global slot grid so all cores
 	// change domains together; otherwise it is one slice from now.
-	k.M.Spin(core, timerProgramCost)
+	k.kSpin(core, timerProgramCost)
 	if k.Cfg.StrictDomains {
 		cs.nextTick = (k.M.Cores[core].Now/k.Cfg.TimesliceCycles + 1) * k.Cfg.TimesliceCycles
 	} else {
 		cs.nextTick = k.M.Cores[core].Now + k.Cfg.TimesliceCycles
 	}
 	// Step 12: restore the user stack pointer and return.
-	k.M.Spin(core, trapExitCost)
+	k.kSpin(core, trapExitCost)
 }
 
 // activeStackBytes is how much kernel stack is live at a switch point.
@@ -266,7 +293,7 @@ func (k *Kernel) maskInterrupts(core int) {
 	}
 	if k.M.Plat.TwoLevelIRQ {
 		for range k.M.IRQ.ProbeLatched(core) {
-			k.M.Spin(core, maskProbeCost)
+			k.kSpin(core, maskProbeCost)
 		}
 	}
 }
@@ -298,22 +325,25 @@ func (k *Kernel) FlushOnCore(core int, img *Image) {
 		// write-back of dirty lines — the dependence the cache-flush
 		// channel (Figure 5) modulates until padding hides it.
 		valid, dirty := h.L1D(core).Flush()
-		_ = valid
-		k.M.Spin(core, h.L1D(core).Sets()*h.L1D(core).Ways()*lineInvCost+dirty*h.WritebackLatency())
+		k.flushEvent(core, trace.UnitL1D, valid, dirty)
+		k.kSpin(core, h.L1D(core).Sets()*h.L1D(core).Ways()*lineInvCost+dirty*h.WritebackLatency())
 		// ICIALLU.
-		h.L1I(core).Flush()
-		k.M.Spin(core, h.L1I(core).Sets()*h.L1I(core).Ways()*lineInvCost)
+		vi, di := h.L1I(core).Flush()
+		k.flushEvent(core, trace.UnitL1I, vi, di)
+		k.kSpin(core, h.L1I(core).Sets()*h.L1I(core).Ways()*lineInvCost)
 	} else {
 		k.manualL1DFlush(core, img)
 		k.manualL1IFlush(core, img)
 	}
 	// TLBs (invpcid / TLBIALL).
 	h.TLBFlush(core, false)
-	k.M.Spin(core, tlbFlushOpCost)
+	k.kSpin(core, tlbFlushOpCost)
 	// Branch predictor (IBC / BPIALL).
 	h.BTBOf(core).Flush()
+	k.flushEvent(core, trace.UnitBTB, 0, 0)
 	h.BHBOf(core).Flush()
-	k.M.Spin(core, bpFlushOpCost)
+	k.flushEvent(core, trace.UnitBHB, 0, 0)
+	k.kSpin(core, bpFlushOpCost)
 }
 
 // manualL1DFlush evicts the entire L1-D by loading a cache-sized buffer
@@ -353,30 +383,35 @@ func (k *Kernel) FullFlush(core int) {
 		Flush() (int, int)
 		Sets() int
 		Ways() int
-	}) {
-		_, dirty := c.Flush()
-		k.M.Spin(core, c.Sets()*c.Ways()*lineInvCost+dirty*h.WritebackLatency())
+	}, u trace.Unit) {
+		valid, dirty := c.Flush()
+		k.flushEvent(core, u, valid, dirty)
+		k.kSpin(core, c.Sets()*c.Ways()*lineInvCost+dirty*h.WritebackLatency())
 	}
-	flush(h.L1D(core))
-	flush(h.L1I(core))
-	flush(h.L2For(core))
+	flush(h.L1D(core), trace.UnitL1D)
+	flush(h.L1I(core), trace.UnitL1I)
+	flush(h.L2For(core), trace.UnitL2)
 	if h.L3() != nil {
-		flush(h.L3())
+		flush(h.L3(), trace.UnitL3)
 	}
 	h.TLBFlush(core, false)
-	k.M.Spin(core, tlbFlushOpCost)
+	k.kSpin(core, tlbFlushOpCost)
 	h.BTBOf(core).Flush()
+	k.flushEvent(core, trace.UnitBTB, 0, 0)
 	h.BHBOf(core).Flush()
-	k.M.Spin(core, bpFlushOpCost)
+	k.flushEvent(core, trace.UnitBHB, 0, 0)
+	k.kSpin(core, bpFlushOpCost)
 }
 
 // prefetchShared touches every line of the residual shared kernel data
 // so the next kernel exits with that state deterministically resident
 // (Requirement 3, switch step 9).
 func (k *Kernel) prefetchShared(core int) {
-	for _, pa := range k.Shared.Lines(k.M.Plat.Hierarchy.L1D.LineSize) {
+	lines := k.Shared.Lines(k.M.Plat.Hierarchy.L1D.LineSize)
+	for _, pa := range lines {
 		k.kDataShared(core, pa, false)
 	}
+	k.emit(core, trace.PrefetchShared, uint64(len(lines)), 0)
 }
 
 // handleIRQ services a deliverable device interrupt: acknowledge, charge
@@ -386,8 +421,9 @@ func (k *Kernel) handleIRQ(core int, line int) {
 	cs := k.cores[core]
 	k.Metrics.IRQsHandled++
 	k.trace(EvIRQ, core, line, 0)
+	k.emit(core, trace.KernelIRQ, uint64(line), 0)
 	k.M.IRQ.Acknowledge(line)
-	k.M.Spin(core, trapEntryCost)
+	k.kSpin(core, trapEntryCost)
 	k.execText(core, cs.curImage, sysTextIRQ, sysTextIRQLen)
 	k.kDataShared(core, k.Shared.CurrentIRQAddr(), true)
 	k.kDataShared(core, k.Shared.IRQStateAddr(line), true)
@@ -409,5 +445,5 @@ func (k *Kernel) handleIRQ(core int, line int) {
 		k.M.IRQ.Mask(line)
 	}
 	k.touchStack(core, cs.curImage, 2, true)
-	k.M.Spin(core, trapExitCost)
+	k.kSpin(core, trapExitCost)
 }

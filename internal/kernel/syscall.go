@@ -1,5 +1,7 @@
 package kernel
 
+import "timeprotection/internal/trace"
+
 // Kernel text layout: every syscall's handler occupies a distinct region
 // of the text segment, so different syscalls have distinct instruction
 // cache footprints. With a *shared* kernel image those footprints land
@@ -50,7 +52,8 @@ func (k *Kernel) syscallEnter(core int, t *TCB, slot int, textOff, textLen uint6
 	cs := k.cores[core]
 	k.Metrics.Syscalls++
 	k.trace(EvSyscall, core, int(textOff), 0)
-	k.M.Spin(core, trapEntryCost)
+	k.emit(core, trace.KernelSyscall, textOff, 0)
+	k.kSpin(core, trapEntryCost)
 	k.execText(core, cs.curImage, sysTextEntry, sysTextEntryLen)
 	k.touchStack(core, cs.curImage, 2, true)
 	if slot >= 0 && t.Proc != nil {
@@ -64,7 +67,7 @@ func (k *Kernel) syscallEnter(core int, t *TCB, slot int, textOff, textLen uint6
 func (k *Kernel) syscallExit(core int) {
 	cs := k.cores[core]
 	k.execText(core, cs.curImage, sysTextExit, sysTextExitLen)
-	k.M.Spin(core, trapExitCost)
+	k.kSpin(core, trapExitCost)
 }
 
 // sysSignal implements Signal on a notification: bump the word and wake

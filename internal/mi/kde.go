@@ -6,9 +6,10 @@
 // density as a truncated discrete convolution — O(n + grid × kernel
 // width) with no exp in the inner loop. The fine grid is an odd
 // multiple of the integration grid so every integration point coincides
-// with a fine-cell centre, and its pitch is at most h/5, which keeps
-// the binning error orders of magnitude below the toolchain's millibit
-// resolution.
+// with a fine-cell centre, and its pitch is at most h/24, which keeps
+// the binning error below the toolchain's millibit resolution even for
+// a single-sample class whose bandwidth sits at the span/1000 floor (a
+// near-delta spike, the worst case for linear binning).
 package mi
 
 import (
@@ -16,9 +17,15 @@ import (
 	"sync"
 )
 
+// fineRefine is the minimum bandwidth-to-fine-pitch ratio. The binning
+// error is second order, ~(pitch/h)²/8 of the density at a spike, so 24
+// keeps the MI error of a floor-bandwidth class under a millibit.
+const fineRefine = 24
+
 // fineGridCap bounds the fine-grid refinement factor; with the
-// bandwidth floored at span/1000 the derived factor never exceeds ~45.
-const fineGridCap = 63
+// bandwidth floored at span/1000 and gridPoints 512 the derived factor
+// never exceeds ~180, so the cap is never the binding constraint.
+const fineGridCap = 255
 
 // kernelCut truncates the Gaussian kernel at kernelCut*h, where its
 // relative magnitude is exp(-kernelCut²/2) ≈ 1.3e-14.
@@ -114,11 +121,11 @@ func (e *estimator) estimate(groups [][]float64, all []float64) float64 {
 // binnedDensity evaluates the Gaussian KDE of xs with bandwidth h at
 // the gridPoints integration points (centres gLo+(g+0.5)dy) into out.
 func (e *estimator) binnedDensity(xs []float64, h, gLo, dy float64, out []float64) {
-	// Refine the fine grid until its pitch is at most h/5; odd factors
-	// keep the integration points on fine-cell centres.
+	// Refine the fine grid until its pitch is at most h/fineRefine; odd
+	// factors keep the integration points on fine-cell centres.
 	factor := 1
-	if 5*dy > h {
-		factor = int(math.Ceil(5 * dy / h))
+	if fineRefine*dy > h {
+		factor = int(math.Ceil(fineRefine * dy / h))
 		if factor%2 == 0 {
 			factor++
 		}

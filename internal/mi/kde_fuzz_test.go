@@ -1,0 +1,53 @@
+package mi
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// FuzzKDEAgreement feeds arbitrary (symbol, value) datasets to both MI
+// estimators and requires the linear-binned fast path to agree with the
+// direct reference within the tool's millibit resolution. The fuzzer
+// owns the dataset shape: class counts, duplicate values, tiny spans
+// and lopsided class sizes all fall out of the raw bytes.
+func FuzzKDEAgreement(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 10, 0, 1, 200, 0, 2, 10, 1, 3, 250, 255})
+	// Two well-separated classes: a clearly leaky channel.
+	leaky := make([]byte, 0, 64)
+	for i := 0; i < 10; i++ {
+		leaky = append(leaky, 0, byte(i), 0, 1, byte(i), 16)
+	}
+	f.Add(leaky)
+	// One class repeated: MI must be zero on both paths.
+	flat := make([]byte, 0, 30)
+	for i := 0; i < 10; i++ {
+		flat = append(flat, 0, 42, 0)
+	}
+	f.Add(flat)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := &Dataset{}
+		for i := 0; i+3 <= len(data); i += 3 {
+			sym := int(data[i] % 5)
+			raw := binary.LittleEndian.Uint16(data[i+1 : i+3])
+			// Map to a bounded, finite measurement range resembling
+			// cycle counts; int16 keeps negatives in play.
+			v := float64(int16(raw)) / 8
+			d.Add(sym, v)
+		}
+		fast := Estimate(d)
+		naive := estimateNaive(d)
+		if math.IsNaN(fast) || math.IsInf(fast, 0) {
+			t.Fatalf("binned estimator returned %v", fast)
+		}
+		if math.IsNaN(naive) || math.IsInf(naive, 0) {
+			t.Fatalf("naive estimator returned %v", naive)
+		}
+		if diff := math.Abs(fast - naive); diff > 1e-3 {
+			t.Fatalf("estimators disagree by %.6f bits (binned %.6f, naive %.6f) on %d samples",
+				diff, fast, naive, d.N())
+		}
+	})
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+)
+
+// chromeEvent is one record of the Chrome trace-event format (the JSON
+// "Trace Event Format" that chrome://tracing and Perfetto load). The
+// exporter maps simulator cores to Chrome threads and the begin/end
+// kernel phase pairs to duration events, so a domain switch renders as
+// a nested span with its flush and padding inside it.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// spanPartner maps a begin kind to its end kind for the phase pairs
+// that export as nested B/E duration events.
+var spanPartner = map[Kind]Kind{
+	DomainSwitchBegin:  DomainSwitchEnd,
+	FlushBegin:         FlushEnd,
+	ChannelSampleBegin: ChannelSampleEnd,
+}
+
+// WriteChrome writes the sink's retained events as Chrome trace-event
+// JSON. cyclesPerMicro converts simulated cycles to trace microseconds
+// (pass Platform.ClockHz/1e6; values <= 0 default to 1, leaving
+// timestamps in raw cycles).
+func (s *Sink) WriteChrome(w io.Writer, cyclesPerMicro float64) error {
+	if cyclesPerMicro <= 0 {
+		cyclesPerMicro = 1
+	}
+	events := s.Events()
+	out := chromeTrace{
+		TraceEvents:     make([]chromeEvent, 0, len(events)+len(s.rings)),
+		DisplayTimeUnit: "ns",
+	}
+	for core := range s.rings {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 0, TID: core,
+			Args: map[string]any{"name": fmt.Sprintf("core %d", core)},
+		})
+	}
+	ts := func(cycles uint64) float64 { return float64(cycles) / cyclesPerMicro }
+	for _, e := range events {
+		ce := chromeEvent{
+			Name:  e.Kind.String(),
+			Cat:   e.Unit.String(),
+			Phase: "i",
+			TS:    ts(e.Time),
+			PID:   0,
+			TID:   int(e.Core),
+			Args: map[string]any{
+				"domain": int(e.Domain),
+				"addr":   fmt.Sprintf("%#x", e.Addr),
+				"arg":    e.Arg,
+			},
+		}
+		switch e.Kind {
+		case DomainSwitchBegin, FlushBegin, ChannelSampleBegin:
+			ce.Phase = "B"
+			ce.Name = spanName(e.Kind)
+		case DomainSwitchEnd, FlushEnd, ChannelSampleEnd:
+			ce.Phase = "E"
+			ce.Name = spanName(e.Kind)
+			if e.Kind == ChannelSampleEnd {
+				ce.Args["value"] = math.Float64frombits(e.Arg)
+				delete(ce.Args, "arg")
+			}
+		case Pad:
+			// Padding is an interval by construction: it ends at the
+			// event's own timestamp + the padded cycles.
+			d := ts(e.Addr)
+			ce.Phase = "X"
+			ce.Dur = &d
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// spanName gives the begin/end pair of a phase one shared span name so
+// trace viewers stack them as a single slice.
+func spanName(k Kind) string {
+	switch k {
+	case DomainSwitchBegin, DomainSwitchEnd:
+		return "domain-switch"
+	case FlushBegin, FlushEnd:
+		return "flush"
+	case ChannelSampleBegin, ChannelSampleEnd:
+		return "channel-sample"
+	}
+	return k.String()
+}

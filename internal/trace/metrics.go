@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// reportUnits is the row order of the metrics report; units with no
+// recorded activity are omitted.
+var reportUnits = []Unit{
+	UnitL1D, UnitL1I, UnitL2, UnitL3,
+	UnitITLB, UnitDTLB, UnitL2TLB,
+	UnitBTB, UnitBHB, UnitPrefetch, UnitWalk,
+	UnitDRAM, UnitBus, UnitKernel,
+}
+
+// MetricsReport renders the per-component cycle accounting table: for
+// every active unit, demand accesses, hit ratio, evictions/write-backs,
+// and the simulated cycles attributed to it — the "where did the cycles
+// go" companion to an experiment's MI verdict.
+func (s *Sink) MetricsReport() string {
+	if s == nil {
+		return ""
+	}
+	totalCycles := s.PadCycles
+	for _, u := range reportUnits {
+		if u == UnitWalk {
+			// Walk cycles are PTE loads already charged to the cache
+			// units they traverse — the row is a breakdown, not a new
+			// cost, so it stays out of the total.
+			continue
+		}
+		st := &s.units[u]
+		totalCycles += st.Cycles + st.WritebackCycles
+	}
+	var b strings.Builder
+	b.WriteString("Component metrics (demand-path cycle accounting):\n")
+	fmt.Fprintf(&b, "  %-9s %12s %12s %7s %10s %10s %14s %7s\n",
+		"unit", "accesses", "misses", "hit%", "evicts", "wbacks", "cycles", "cyc%")
+	line := strings.Repeat("-", 89)
+	fmt.Fprintf(&b, "  %s\n", line)
+	for _, u := range reportUnits {
+		st := &s.units[u]
+		cycles := st.Cycles + st.WritebackCycles
+		if st.Accesses == 0 && cycles == 0 && st.Issues == 0 && st.Flushes == 0 {
+			continue
+		}
+		hitPct := "-"
+		if st.Accesses > 0 {
+			hitPct = fmt.Sprintf("%.1f", 100*float64(st.Hits)/float64(st.Accesses))
+		}
+		cycPct := "-"
+		if totalCycles > 0 && u != UnitWalk {
+			cycPct = fmt.Sprintf("%.1f", 100*float64(cycles)/float64(totalCycles))
+		}
+		accesses := st.Accesses
+		if accesses == 0 {
+			accesses = st.Issues
+		}
+		fmt.Fprintf(&b, "  %-9s %12d %12d %7s %10d %10d %14d %7s\n",
+			u, accesses, st.Misses, hitPct, st.Evictions, st.Writebacks, cycles, cycPct)
+	}
+	if s.PadCount > 0 {
+		cycPct := "-"
+		if totalCycles > 0 {
+			cycPct = fmt.Sprintf("%.1f", 100*float64(s.PadCycles)/float64(totalCycles))
+		}
+		fmt.Fprintf(&b, "  %-9s %12d %12s %7s %10s %10s %14d %7s\n",
+			"pad", s.PadCount, "-", "-", "-", "-", s.PadCycles, cycPct)
+	}
+	fmt.Fprintf(&b, "  %s\n", line)
+	fmt.Fprintf(&b, "  %-9s %12s %12s %7s %10s %10s %14d %7s\n",
+		"total", "", "", "", "", "", totalCycles, "100.0")
+	return b.String()
+}
+
+// Merge adds other's counters into s (event rings are not merged).
+// Experiment drivers that build several systems per artefact attach one
+// sink to all of them, so Merge exists for callers that instead collect
+// per-system sinks and want one aggregate report.
+func (s *Sink) Merge(other *Sink) {
+	if s == nil || other == nil {
+		return
+	}
+	s.PadCount += other.PadCount
+	s.PadCycles += other.PadCycles
+	for u := range s.units {
+		a, b := &s.units[u], &other.units[u]
+		a.Accesses += b.Accesses
+		a.Hits += b.Hits
+		a.Misses += b.Misses
+		a.Evictions += b.Evictions
+		a.Writebacks += b.Writebacks
+		a.Flushes += b.Flushes
+		a.FlushedLines += b.FlushedLines
+		a.Issues += b.Issues
+		a.Cycles += b.Cycles
+		a.WritebackCycles += b.WritebackCycles
+	}
+}

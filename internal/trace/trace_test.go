@@ -1,0 +1,333 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNilSinkSafe(t *testing.T) {
+	var s *Sink
+	if s.EventsEnabled() {
+		t.Fatal("nil sink reports events enabled")
+	}
+	s.SetDomain(0, 3) // must not panic
+	if got := s.Events(); got != nil {
+		t.Fatalf("nil sink Events() = %v, want nil", got)
+	}
+	if got := s.CoreEvents(0); got != nil {
+		t.Fatalf("nil sink CoreEvents() = %v, want nil", got)
+	}
+	if got := s.MetricsReport(); got != "" {
+		t.Fatalf("nil sink MetricsReport() = %q, want empty", got)
+	}
+	s.Merge(NewSink(0)) // must not panic
+}
+
+func TestCountersOnlySink(t *testing.T) {
+	s := NewSink(0)
+	if s.EventsEnabled() {
+		t.Fatal("ringCap 0 sink reports events enabled")
+	}
+	s.Emit(0, CacheHit, UnitL1D, 0x40, 0)
+	s.Unit(UnitL1D).Hits++
+	if got := len(s.Events()); got != 0 {
+		t.Fatalf("counters-only sink retained %d events, want 0", got)
+	}
+	if s.Total() != 1 {
+		t.Fatalf("Total() = %d, want 1 (emission still counted)", s.Total())
+	}
+	if s.UnitSnapshot(UnitL1D).Hits != 1 {
+		t.Fatal("counter increment lost")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	s := NewSink(4)
+	for i := 0; i < 10; i++ {
+		s.Emit(0, CacheMiss, UnitL2, uint64(i), 0)
+	}
+	ev := s.CoreEvents(0)
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(6 + i); e.Addr != want {
+			t.Fatalf("event %d addr = %d, want %d (oldest-first after wrap)", i, e.Addr, want)
+		}
+	}
+	if s.Total() != 10 {
+		t.Fatalf("Total() = %d, want 10", s.Total())
+	}
+}
+
+func TestEventsMergeAcrossCores(t *testing.T) {
+	s := NewSink(8)
+	clock := map[int]uint64{0: 0, 1: 0}
+	s.Clock = func(core int) uint64 { return clock[core] }
+
+	clock[0] = 5
+	s.Emit(0, CacheHit, UnitL1D, 1, 0)
+	clock[1] = 3
+	s.Emit(1, CacheHit, UnitL1D, 2, 0)
+	clock[1] = 5 // tie with core 0's event: lower core wins
+	s.Emit(1, CacheMiss, UnitL1D, 3, 0)
+	clock[0] = 9
+	s.Emit(0, CacheMiss, UnitL1D, 4, 0)
+
+	ev := s.Events()
+	wantAddrs := []uint64{2, 1, 3, 4}
+	if len(ev) != len(wantAddrs) {
+		t.Fatalf("got %d events, want %d", len(ev), len(wantAddrs))
+	}
+	for i, e := range ev {
+		if e.Addr != wantAddrs[i] {
+			t.Fatalf("merged order addrs = %v, want %v", addrs(ev), wantAddrs)
+		}
+	}
+}
+
+func addrs(ev []Event) []uint64 {
+	out := make([]uint64, len(ev))
+	for i, e := range ev {
+		out[i] = e.Addr
+	}
+	return out
+}
+
+func TestDomainStamping(t *testing.T) {
+	s := NewSink(8)
+	s.SetDomain(0, 1)
+	s.Emit(0, CacheHit, UnitL1D, 1, 0)
+	s.SetDomain(0, 2)
+	s.Emit(0, CacheHit, UnitL1D, 2, 0)
+	ev := s.CoreEvents(0)
+	if ev[0].Domain != 1 || ev[1].Domain != 2 {
+		t.Fatalf("domains = %d,%d, want 1,2", ev[0].Domain, ev[1].Domain)
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := NewSink(16)
+	s.Emit(0, CacheMiss, UnitL1D, 1, 0)
+	s.Emit(0, CacheMiss, UnitL2, 2, 0)
+	s.Emit(1, CacheMiss, UnitL2, 3, 0)
+	s.Emit(0, CacheHit, UnitL2, 4, 0)
+	if got := s.Count(CacheMiss, UnitNone); got != 3 {
+		t.Fatalf("Count(miss, any) = %d, want 3", got)
+	}
+	if got := s.Count(CacheMiss, UnitL2); got != 2 {
+		t.Fatalf("Count(miss, L2) = %d, want 2", got)
+	}
+}
+
+func TestWriteChromeValidJSON(t *testing.T) {
+	s := NewSink(64)
+	var now uint64
+	s.Clock = func(core int) uint64 { return now }
+	now = 100
+	s.Emit(0, DomainSwitchBegin, UnitKernel, 0, 1)
+	now = 150
+	s.Emit(0, FlushBegin, UnitKernel, 1, 0)
+	now = 400
+	s.Emit(0, FlushEnd, UnitKernel, 250, 0)
+	now = 420
+	s.Emit(0, Pad, UnitKernel, 80, 0)
+	now = 500
+	s.Emit(0, DomainSwitchEnd, UnitKernel, 400, 0)
+	now = 600
+	s.Emit(0, ChannelSampleBegin, UnitChannel, 7, 0)
+	now = 900
+	s.Emit(0, ChannelSampleEnd, UnitChannel, 7, math.Float64bits(12.5))
+	now = 950
+	s.Emit(0, CacheMiss, UnitL1D, 0x1000, 0)
+
+	var buf bytes.Buffer
+	if err := s.WriteChrome(&buf, 2.0); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   *float64       `json:"dur"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if tr.DisplayTimeUnit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", tr.DisplayTimeUnit)
+	}
+	phases := map[string]int{}
+	var sampleValue float64
+	var padDur *float64
+	for _, e := range tr.TraceEvents {
+		phases[e.Phase]++
+		if e.Name == "channel-sample" && e.Phase == "E" {
+			sampleValue, _ = e.Args["value"].(float64)
+		}
+		if e.Name == "pad" {
+			padDur = e.Dur
+		}
+	}
+	if phases["M"] != 1 {
+		t.Fatalf("want 1 thread_name metadata event, got %d", phases["M"])
+	}
+	if phases["B"] != 3 || phases["E"] != 3 {
+		t.Fatalf("want 3 B and 3 E span events, got B=%d E=%d", phases["B"], phases["E"])
+	}
+	if phases["i"] != 1 {
+		t.Fatalf("want 1 instant event (the cache miss), got %d", phases["i"])
+	}
+	if sampleValue != 12.5 {
+		t.Fatalf("sample end value = %v, want 12.5", sampleValue)
+	}
+	if padDur == nil || *padDur != 40 { // 80 cycles at 2 cycles/µs
+		t.Fatalf("pad dur = %v, want 40µs", padDur)
+	}
+}
+
+func TestMetricsReport(t *testing.T) {
+	s := NewSink(0)
+	l1 := s.Unit(UnitL1D)
+	l1.Accesses, l1.Hits, l1.Misses, l1.Cycles = 100, 90, 10, 400
+	l2 := s.Unit(UnitL2)
+	l2.Accesses, l2.Hits, l2.Misses, l2.Cycles = 10, 4, 6, 120
+	s.PadCount, s.PadCycles = 3, 480
+
+	rep := s.MetricsReport()
+	for _, want := range []string{"L1-D", "L2", "pad", "total", "90.0", "1000"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("report missing %q:\n%s", want, rep)
+		}
+	}
+	if strings.Contains(rep, "L3") {
+		t.Fatalf("inactive unit rendered:\n%s", rep)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewSink(0), NewSink(0)
+	a.Unit(UnitL2).Misses = 5
+	b.Unit(UnitL2).Misses = 7
+	b.PadCount, b.PadCycles = 1, 100
+	a.Merge(b)
+	if a.UnitSnapshot(UnitL2).Misses != 12 {
+		t.Fatalf("merged misses = %d, want 12", a.UnitSnapshot(UnitL2).Misses)
+	}
+	if a.PadCount != 1 || a.PadCycles != 100 {
+		t.Fatal("pad counters not merged")
+	}
+}
+
+func TestCrossDomainHits(t *testing.T) {
+	mk := func(kind Kind, unit Unit, core uint8, domain int16, addr uint64) Event {
+		return Event{Kind: kind, Unit: unit, Core: core, Domain: domain, Addr: addr}
+	}
+	shared := map[Unit]bool{UnitL3: true}
+
+	events := []Event{
+		mk(CacheMiss, UnitL3, 0, 0, 0x100), // domain 0 brings the line in
+		mk(CacheHit, UnitL3, 1, 1, 0x100),  // domain 1 hits it: cross-domain
+		mk(CacheHit, UnitL3, 1, 1, 0x100),  // second hit: now same-domain
+	}
+	hits := CrossDomainHits(events, shared, nil)
+	if len(hits) != 1 || hits[0].PrevDomain != 0 || hits[0].Event.Domain != 1 {
+		t.Fatalf("cross-domain hits = %+v, want one d0→d1 hit", hits)
+	}
+
+	// A flush between touch and hit clears the history.
+	events = []Event{
+		mk(CacheMiss, UnitL3, 0, 0, 0x100),
+		mk(CacheFlush, UnitL3, 0, 0, 1),
+		mk(CacheHit, UnitL3, 1, 1, 0x100),
+	}
+	if hits := CrossDomainHits(events, shared, nil); len(hits) != 0 {
+		t.Fatalf("flush did not clear line history: %+v", hits)
+	}
+
+	// Private units key by core: same address on different cores is
+	// different state, so no cross-domain hit.
+	events = []Event{
+		mk(CacheMiss, UnitL1D, 0, 0, 0x100),
+		mk(CacheHit, UnitL1D, 1, 1, 0x100),
+	}
+	if hits := CrossDomainHits(events, nil, nil); len(hits) != 0 {
+		t.Fatalf("private unit treated as shared: %+v", hits)
+	}
+
+	// Eviction removes history too.
+	events = []Event{
+		mk(CacheMiss, UnitL3, 0, 0, 0x100),
+		mk(CacheEvict, UnitL3, 0, 0, 0x100),
+		mk(CacheHit, UnitL3, 1, 1, 0x100),
+	}
+	if hits := CrossDomainHits(events, shared, nil); len(hits) != 0 {
+		t.Fatalf("evict did not clear line history: %+v", hits)
+	}
+
+	// The filter suppresses reporting but not tracking.
+	events = []Event{
+		mk(CacheMiss, UnitL3, 0, 0, 0x100),
+		mk(CacheHit, UnitL3, 1, 1, 0x100),
+	}
+	none := func(addr uint64) bool { return false }
+	if hits := CrossDomainHits(events, shared, none); len(hits) != 0 {
+		t.Fatalf("filter ignored: %+v", hits)
+	}
+}
+
+func TestSampleWindows(t *testing.T) {
+	events := []Event{
+		{Kind: CacheMiss, Unit: UnitL2, Addr: 0x40},
+		{Kind: ChannelSampleBegin, Unit: UnitChannel, Addr: 3},
+		{Kind: CacheMiss, Unit: UnitL2, Addr: 0x80},
+		{Kind: CacheMiss, Unit: UnitL1D, Addr: 0xc0},
+		{Kind: ChannelSampleEnd, Unit: UnitChannel, Addr: 3, Arg: math.Float64bits(42)},
+		{Kind: ChannelSampleBegin, Unit: UnitChannel, Addr: 5},
+		{Kind: CacheMiss, Unit: UnitL2, Addr: 0x100},
+	}
+	ws := SampleWindows(events)
+	if len(ws) != 1 {
+		t.Fatalf("got %d windows, want 1 (trailing unterminated dropped)", len(ws))
+	}
+	w := ws[0]
+	if w.Symbol != 3 || w.Value != 42 {
+		t.Fatalf("window = symbol %d value %v, want 3/42", w.Symbol, w.Value)
+	}
+	if got := w.MissCount(UnitL2, nil); got != 1 {
+		t.Fatalf("L2 misses in window = %d, want 1", got)
+	}
+	inRange := func(addr uint64) bool { return addr >= 0x80 && addr < 0x100 }
+	if got := w.MissCount(UnitL2, inRange); got != 1 {
+		t.Fatalf("filtered L2 misses = %d, want 1", got)
+	}
+
+	means := SymbolMeans(ws, func(w SampleWindow) float64 { return w.Value })
+	if means[3] != 42 {
+		t.Fatalf("SymbolMeans = %v", means)
+	}
+}
+
+func TestPhaseSpans(t *testing.T) {
+	events := []Event{
+		{Kind: DomainSwitchBegin, Core: 0, Time: 100},
+		{Kind: DomainSwitchBegin, Core: 1, Time: 150},
+		{Kind: DomainSwitchEnd, Core: 0, Time: 600},
+		{Kind: DomainSwitchEnd, Core: 1, Time: 650},
+		{Kind: DomainSwitchBegin, Core: 0, Time: 1000}, // unterminated
+	}
+	spans := PhaseSpans(events, DomainSwitchBegin)
+	if len(spans) != 2 || spans[0] != 500 || spans[1] != 500 {
+		t.Fatalf("spans = %v, want [500 500]", spans)
+	}
+	if got := PhaseSpans(events, CacheHit); got != nil {
+		t.Fatalf("non-span kind returned %v", got)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"timeprotection/internal/hw"
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/memory"
+	"timeprotection/internal/trace"
 )
 
 // IPCVariant selects one row of Table 5.
@@ -38,7 +39,8 @@ func IPCVariants() []IPCVariant {
 
 // MeasureIPC returns the steady-state one-way cost in cycles of
 // cross-address-space call/reply IPC under the given variant (Table 5).
-func MeasureIPC(plat hw.Platform, variant IPCVariant) (float64, error) {
+// tr, when non-nil, observes the run.
+func MeasureIPC(plat hw.Platform, variant IPCVariant, tr *trace.Sink) (float64, error) {
 	cloneSupport := variant != IPCOriginal
 	k, err := kernel.Boot(plat, kernel.Config{
 		Scenario: kernel.ScenarioRaw,
@@ -48,6 +50,9 @@ func MeasureIPC(plat hw.Platform, variant IPCVariant) (float64, error) {
 	})
 	if err != nil {
 		return 0, err
+	}
+	if tr != nil {
+		k.AttachTracer(tr)
 	}
 	if variant == IPCIntraColour || variant == IPCInterColour {
 		// Give clones their own colour pools, as a partitioned system

@@ -11,6 +11,7 @@ import (
 	"timeprotection/internal/hw"
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/memory"
+	"timeprotection/internal/trace"
 )
 
 // SplashSpec parameterises one Splash-2 analogue: the cache-relevant
@@ -165,6 +166,8 @@ type SplashConfig struct {
 	// long slice (the paper's 10 ms, scaled) so the switch overhead is
 	// amortised as on hardware.
 	TimesliceMicros float64
+	// Tracer attaches a machine-wide observability sink (nil = off).
+	Tracer *trace.Sink
 }
 
 // RunSplash executes one benchmark under cfg and returns its elapsed
@@ -181,6 +184,7 @@ func RunSplash(spec SplashSpec, cfg SplashConfig) (uint64, error) {
 		ColourFraction:  cfg.ColourFraction,
 		PadMicros:       cfg.PadMicros,
 		TimesliceMicros: cfg.TimesliceMicros,
+		Tracer:          cfg.Tracer,
 	})
 	if err != nil {
 		return 0, err
@@ -234,6 +238,7 @@ func RunSplashThroughput(spec SplashSpec, cfg SplashConfig, cycles uint64) (int,
 		ColourFraction:  cfg.ColourFraction,
 		PadMicros:       cfg.PadMicros,
 		TimesliceMicros: cfg.TimesliceMicros,
+		Tracer:          cfg.Tracer,
 	})
 	if err != nil {
 		return 0, err

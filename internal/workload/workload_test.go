@@ -95,7 +95,7 @@ func TestCloneOverheadNegligible(t *testing.T) {
 func TestMeasureIPCVariants(t *testing.T) {
 	costs := map[IPCVariant]float64{}
 	for _, v := range IPCVariants() {
-		c, err := MeasureIPC(hw.Haswell(), v)
+		c, err := MeasureIPC(hw.Haswell(), v, nil)
 		if err != nil {
 			t.Fatalf("%v: %v", v, err)
 		}
@@ -117,11 +117,11 @@ func TestMeasureIPCVariants(t *testing.T) {
 // Table 5's Arm result: non-global kernel mappings cost measurably more
 // on the low-associativity Cortex-A9 TLBs.
 func TestIPCArmColourReadyPenalty(t *testing.T) {
-	orig, err := MeasureIPC(hw.Sabre(), IPCOriginal)
+	orig, err := MeasureIPC(hw.Sabre(), IPCOriginal, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ready, err := MeasureIPC(hw.Sabre(), IPCColourReady)
+	ready, err := MeasureIPC(hw.Sabre(), IPCColourReady, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
