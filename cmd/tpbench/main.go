@@ -8,7 +8,13 @@
 //	tpbench -all -parallel 8          # same bytes, 8 workers
 //	tpbench -table 3 -platform sabre  # one table, one platform
 //	tpbench -figure 4                 # one figure
+//	tpbench -artefact table2,smt      # artefacts by registry name
 //	tpbench -ablations                # the DESIGN.md ablation study
+//	tpbench -list                     # the artefact registry
+//
+// Artefacts resolve through the registry in internal/experiments — the
+// same source of truth the tpserved HTTP API serves from, so tpbench
+// output and tpserved responses are byte-identical for the same config.
 //
 // Independent artefacts run concurrently on -parallel workers (default:
 // all CPUs). Every driver builds its own deterministic simulated
@@ -27,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/hw"
@@ -36,6 +43,8 @@ func main() {
 	var (
 		table      = flag.Int("table", 0, "regenerate one table (1-8)")
 		figure     = flag.Int("figure", 0, "regenerate one figure (3-7)")
+		artefact   = flag.String("artefact", "", "comma-separated artefact names from the registry (see -list)")
+		list       = flag.Bool("list", false, "list the artefact registry and exit")
 		all        = flag.Bool("all", false, "regenerate everything")
 		ablations  = flag.Bool("ablations", false, "run the design-decision ablations")
 		extensions = flag.Bool("extensions", false, "run the beyond-the-paper studies (interconnect, CAT, SMT, fuzzy time)")
@@ -48,6 +57,29 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent experiment workers (output is identical for any value)")
 	)
 	flag.Parse()
+
+	if *list {
+		for _, a := range experiments.Registry() {
+			scope := "both platforms"
+			switch {
+			case a.Global:
+				scope = "platform-independent"
+			case a.X86Only:
+				scope = "x86 only"
+			}
+			fmt.Printf("%-13s %-40s (%s)\n", a.Name, a.Title, scope)
+		}
+		return
+	}
+
+	var names []string
+	if *artefact != "" {
+		names = strings.Split(*artefact, ",")
+		if err := experiments.ValidateArtefactNames(names); err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
 
 	var plats []hw.Platform
 	switch *platform {
@@ -68,6 +100,7 @@ func main() {
 		All:        *all,
 		Table:      *table,
 		Figure:     *figure,
+		Artefacts:  names,
 		Ablations:  *ablations,
 		Extensions: *extensions,
 		Check:      *check,

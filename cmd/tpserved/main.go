@@ -1,0 +1,86 @@
+// Command tpserved is a long-running daemon that serves the paper's
+// tables and figures over HTTP. Runs are deterministic, so every
+// response is cached content-addressed by (artefact, platform,
+// canonical config); repeated and concurrent identical requests cost
+// one driver run.
+//
+// Usage:
+//
+//	tpserved                              # listen on :8080
+//	tpserved -addr :9000 -parallel 8      # bounded worker pool of 8
+//
+// API:
+//
+//	GET  /v1/artefacts                    # registry listing (JSON)
+//	GET  /v1/artefacts/{name}?platform=haswell&samples=150&seed=42&metrics=false
+//	POST /v1/runs                         # PlanSpec as JSON; results stream in plan order
+//	GET  /healthz
+//	GET  /metricz                         # cache / singleflight / pool counters (JSON)
+//
+// Artefact bodies are byte-identical to cmd/tpbench's output for the
+// same config. SIGINT/SIGTERM drain gracefully: the listener closes,
+// in-flight requests and queued driver runs finish, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"timeprotection/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent experiment workers")
+		queue    = flag.Int("queue", 0, "pending-run queue bound (0 = 4*parallel); overflow returns 429")
+		cacheMax = flag.Int("cache", 1024, "maximum cached artefact bodies")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request wait bound")
+		grace    = flag.Duration("grace", 30*time.Second, "shutdown drain bound after SIGTERM")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "tpserved: unexpected arguments %v\n", flag.Args())
+		os.Exit(2)
+	}
+
+	svc := service.New(service.Options{
+		Parallel:     *parallel,
+		Queue:        *queue,
+		CacheEntries: *cacheMax,
+		Timeout:      *timeout,
+	})
+	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("tpserved: listening on %s (%d workers)", *addr, *parallel)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("tpserved: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("tpserved: draining (up to %v)", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("tpserved: shutdown: %v", err)
+	}
+	svc.Close()
+	log.Printf("tpserved: drained, exiting")
+}

@@ -13,21 +13,18 @@ import (
 	"fmt"
 	"log"
 
-	"timeprotection/internal/channel"
-	"timeprotection/internal/hw"
-	"timeprotection/internal/kernel"
+	"timeprotection/pkg/timeprot"
 )
 
 func main() {
-	plat := hw.Haswell()
+	plat := timeprot.Haswell()
 	fmt.Println("victim VM on core 0 decrypts; spy VM on core 1 probes the LLC")
 
-	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioProtected} {
-		r, err := channel.RunLLCSideChannel(channel.Spec{
-			Platform: plat,
-			Scenario: sc,
-			Samples:  150,
-		})
+	for _, sc := range []timeprot.Scenario{timeprot.ScenarioRaw, timeprot.ScenarioProtected} {
+		r, err := timeprot.MeasureLLCAttack(
+			timeprot.WithPlatform(plat),
+			timeprot.WithScenario(sc),
+			timeprot.WithSamples(150))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,24 +13,18 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
-	"timeprotection/internal/channel"
-	"timeprotection/internal/core"
-	"timeprotection/internal/hw"
-	"timeprotection/internal/kernel"
-	"timeprotection/internal/mi"
+	"timeprotection/pkg/timeprot"
 )
 
 func main() {
-	plat := hw.Haswell()
+	plat := timeprot.Haswell()
 
 	// Part 1: overt communication still works in a partitioned system.
-	sys, err := core.NewSystem(core.Options{
-		Platform: plat,
-		Scenario: kernel.ScenarioProtected,
-		Domains:  2,
-	})
+	sys, err := timeprot.NewSystem(
+		timeprot.WithPlatform(plat),
+		timeprot.WithProtection(),
+		timeprot.WithDomains(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -40,7 +34,7 @@ func main() {
 	}
 	requests, replies := 0, 0
 	started := false
-	server := kernel.ProgramFunc(func(e *kernel.Env) bool {
+	server := timeprot.ProgramFunc(func(e *timeprot.Env) bool {
 		if !started {
 			started = true
 			e.Recv(sSlot)
@@ -50,7 +44,7 @@ func main() {
 		e.ReplyRecv(sSlot)
 		return true
 	})
-	trojan := kernel.ProgramFunc(func(e *kernel.Env) bool {
+	trojan := timeprot.ProgramFunc(func(e *timeprot.Env) bool {
 		if requests >= 8 {
 			return false
 		}
@@ -68,12 +62,15 @@ func main() {
 	fmt.Printf("overt IPC channel under time protection: %d requests, %d replies served\n", requests, replies)
 
 	// Part 2: the covert channel through the shared kernel is closed.
-	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioProtected} {
-		ds, err := channel.RunKernelChannel(channel.Spec{Platform: plat, Scenario: sc, Samples: 150})
+	for _, sc := range []timeprot.Scenario{timeprot.ScenarioRaw, timeprot.ScenarioProtected} {
+		ds, err := timeprot.MeasureKernelChannel(
+			timeprot.WithPlatform(plat),
+			timeprot.WithScenario(sc),
+			timeprot.WithSamples(150))
 		if err != nil {
 			log.Fatal(err)
 		}
-		r := mi.Analyze(ds, rand.New(rand.NewSource(1)))
+		r := timeprot.Analyze(ds, 1)
 		fmt.Printf("covert kernel channel, %-10s: %v\n", sc, r)
 	}
 	fmt.Println("\nConfinement holds: the Trojan can talk through its authorised")

@@ -10,24 +10,22 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
-	"timeprotection/internal/channel"
-	"timeprotection/internal/hw"
-	"timeprotection/internal/kernel"
-	"timeprotection/internal/mi"
+	"timeprotection/pkg/timeprot"
 )
 
 func main() {
-	plat := hw.Haswell()
-	spec := channel.Spec{Platform: plat, Scenario: kernel.ScenarioProtected, Samples: 150}
+	plat := timeprot.Haswell()
 
 	for _, partitioned := range []bool{false, true} {
-		ds, err := channel.RunInterruptChannel(spec, partitioned)
+		ds, err := timeprot.MeasureInterruptChannel(partitioned,
+			timeprot.WithPlatform(plat),
+			timeprot.WithProtection(),
+			timeprot.WithSamples(150))
 		if err != nil {
 			log.Fatal(err)
 		}
-		r := mi.Analyze(ds, rand.New(rand.NewSource(1)))
+		r := timeprot.Analyze(ds, 1)
 		label := "IRQ unpartitioned     "
 		if partitioned {
 			label = "IRQ bound to its image"

@@ -12,18 +12,16 @@ import (
 	"fmt"
 	"log"
 
-	"timeprotection/internal/hw"
-	"timeprotection/internal/kernel"
-	"timeprotection/internal/memory"
+	"timeprotection/pkg/timeprot"
 )
 
 func main() {
-	plat := hw.Haswell()
-	k, err := kernel.Boot(plat, kernel.Config{
-		Scenario:     kernel.ScenarioProtected,
-		CloneSupport: true,
-		TraceSize:    256,
-	})
+	plat := timeprot.Haswell()
+	k, err := timeprot.Boot(
+		timeprot.WithPlatform(plat),
+		timeprot.WithProtection(),
+		timeprot.WithKernelCloning(),
+		timeprot.WithTrace(256))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -32,12 +30,12 @@ func main() {
 
 	// The init process splits free memory into two coloured pools and
 	// clones a kernel into each (the §3.3 recipe).
-	split := memory.SplitColours(nCol, 2)
-	pools := []*memory.Pool{
-		memory.NewPool(k.M.Alloc, split[0]),
-		memory.NewPool(k.M.Alloc, split[1]),
+	split := timeprot.SplitColours(nCol, 2)
+	pools := []*timeprot.Pool{
+		timeprot.NewPool(k.M.Alloc, split[0]),
+		timeprot.NewPool(k.M.Alloc, split[1]),
 	}
-	var images []*kernel.Image
+	var images []*timeprot.Image
 	for i, pool := range pools {
 		km, err := k.NewKernelMemory(pool)
 		if err != nil {
@@ -52,7 +50,7 @@ func main() {
 			i, pool.Colours(), img.ID, plat.CyclesToMicros(k.Metrics.LastCloneCycles))
 	}
 
-	// Domain 0 sub-divides: nested partitioning from ITS image.
+	// Domain 0 sub-divides: nested partitioning from its image.
 	subPools, err := pools[0].Subdivide(2)
 	if err != nil {
 		log.Fatal(err)
@@ -91,7 +89,7 @@ func main() {
 	fmt.Printf("\nafter revocation the machine still runs: %d ticks handled\n", k.Metrics.Ticks)
 	fmt.Println("\nkernel trace (lifecycle events):")
 	for _, e := range k.Trace.Snapshot() {
-		if e.Kind == kernel.EvClone || e.Kind == kernel.EvDestroy {
+		if e.Kind == timeprot.EvClone || e.Kind == timeprot.EvDestroy {
 			fmt.Printf("  %v\n", e)
 		}
 	}

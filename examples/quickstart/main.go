@@ -12,28 +12,23 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
-	"timeprotection/internal/channel"
-	"timeprotection/internal/hw"
-	"timeprotection/internal/kernel"
-	"timeprotection/internal/mi"
+	"timeprotection/pkg/timeprot"
 )
 
 func main() {
-	plat := hw.Haswell()
+	plat := timeprot.Haswell()
 	fmt.Printf("platform: %s (%d page colours)\n\n", plat.Name, plat.Colours())
 
-	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioProtected} {
-		ds, err := channel.RunIntraCore(channel.Spec{
-			Platform: plat,
-			Scenario: sc,
-			Samples:  150,
-		}, channel.L1D)
+	for _, sc := range []timeprot.Scenario{timeprot.ScenarioRaw, timeprot.ScenarioProtected} {
+		ds, err := timeprot.MeasureChannel(timeprot.L1D,
+			timeprot.WithPlatform(plat),
+			timeprot.WithScenario(sc),
+			timeprot.WithSamples(150))
 		if err != nil {
 			log.Fatal(err)
 		}
-		r := mi.Analyze(ds, rand.New(rand.NewSource(1)))
+		r := timeprot.Analyze(ds, 1)
 		fmt.Printf("L1-D covert channel, %-10s: %v\n", sc, r)
 		if r.Leak() {
 			fmt.Println("  -> the sender's cache footprint is visible to the receiver")

@@ -47,7 +47,7 @@ func TestBusChannelMBAAttenuatesOnly(t *testing.T) {
 
 func TestSMTChannelSurvivesEverything(t *testing.T) {
 	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioFullFlush, kernel.ScenarioProtected} {
-		ds, err := RunSMTChannel(Spec{Platform: hw.HaswellSMT(), Scenario: sc, Samples: 100})
+		ds, err := RunSMTChannel(Spec{Platform: hw.HaswellSMT(), Scenario: sc, Samples: 100, Seed: 42})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,7 +60,7 @@ func TestSMTChannelSurvivesEverything(t *testing.T) {
 
 func TestDRAMChannelSurvivesProtection(t *testing.T) {
 	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioProtected} {
-		ds, err := RunDRAMChannel(Spec{Platform: hw.Haswell(), Scenario: sc, Samples: 120})
+		ds, err := RunDRAMChannel(Spec{Platform: hw.Haswell(), Scenario: sc, Samples: 120, Seed: 42})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -19,7 +19,7 @@ func analyze(t *testing.T, ds *mi.Dataset) mi.Result {
 }
 
 func spec(plat hw.Platform, sc kernel.Scenario) Spec {
-	return Spec{Platform: plat, Scenario: sc, Samples: 100, TimesliceMicros: 50}
+	return Spec{Platform: plat, Scenario: sc, Samples: 100, Seed: 42, TimesliceMicros: 50}
 }
 
 func TestResourcesList(t *testing.T) {

@@ -38,19 +38,25 @@ type Config struct {
 	Tracer *trace.Sink
 }
 
-// withDefaults fills zero fields.
-func (c Config) withDefaults() Config {
+// Canonical returns the config with every implicit default made
+// explicit, so that two configs describing the same run compare (and
+// cache) equal. Seed is deliberately NOT defaulted here: seed 0 is a
+// valid, selectable seed — the conventional default of 42 belongs to
+// the flag and option declarations of the entry points (tpbench -seed,
+// tpserved's ?seed=, pkg/timeprot's WithSeed). Tracer is a runtime
+// attachment, not part of the run's identity, and is left untouched.
+func (c Config) Canonical() Config {
 	if c.Platform.Cores == 0 {
 		c.Platform = hw.Haswell()
 	}
 	if c.Samples == 0 {
 		c.Samples = 150
 	}
-	if c.Seed == 0 {
-		c.Seed = 42
-	}
 	return c
 }
+
+// withDefaults fills zero fields; drivers call it on entry.
+func (c Config) withDefaults() Config { return c.Canonical() }
 
 // renderTable formats a titled ASCII table.
 func renderTable(title string, headers []string, rows [][]string) string {

@@ -15,130 +15,104 @@ var ErrCheckFailed = errors.New("security verdicts failed")
 // PlanSpec selects which artefacts a tpbench invocation regenerates.
 // The zero value selects nothing.
 type PlanSpec struct {
-	Platforms  []hw.Platform
-	Base       Config // Platform is overridden per entry in Platforms
-	All        bool
-	Table      int // 1-8, 0 = none
-	Figure     int // 3-7, 0 = none
+	Platforms []hw.Platform
+	Base      Config // Platform is overridden per entry in Platforms
+	All       bool
+	Table     int // 1-8, 0 = none
+	Figure    int // 3-7, 0 = none
+	// Artefacts selects registry entries by name ("table2", "ablations",
+	// ...), in addition to the flag-style selectors above.
+	Artefacts  []string
 	Ablations  bool
 	Extensions bool
 	Check      bool
 }
 
-// Plan expands a spec into the ordered job list: Table 1 first (it is
-// platform-independent), then every selected artefact per platform in
-// the paper's order. The order matches what the sequential tpbench has
-// always printed; RunJobs preserves it at any worker count.
-func Plan(spec PlanSpec) []Job {
-	var jobs []Job
-	if spec.All || spec.Table == 1 {
-		jobs = append(jobs, Job{Name: "table1", Run: func() (string, error) {
-			return Table1() + "\n", nil
-		}})
+// PlanEntry is one resolved unit of a plan: an artefact (or the -check
+// verdict suite) bound to a concrete platform and config. Entries are
+// what the result cache in internal/service keys on.
+type PlanEntry struct {
+	// Artefact is the registry entry; the zero Artefact (empty Name)
+	// with Check set marks a verdict-suite entry.
+	Artefact Artefact
+	// Check marks the security-verdict gate for Config.Platform.
+	Check bool
+	// Config carries the fully bound config (Platform set; for global
+	// artefacts the platform is irrelevant and left as the base).
+	Config Config
+}
+
+// JobName is the name RunJobs reports for this entry.
+func (e PlanEntry) JobName() string {
+	if e.Check {
+		return "check/" + e.Config.Platform.Name
 	}
-	type artefact struct {
-		name   string
-		on     bool
-		x86    bool // x86-only artefact (Figures 4 and 6, CAT, SMT)
-		render func(Config) (string, error)
+	return e.Artefact.JobName(e.Config.Platform)
+}
+
+// Output computes the entry's rendered bytes — the exact bytes tpbench
+// writes for this job. A failed check returns ErrCheckFailed alongside
+// the rendered verdicts.
+func (e PlanEntry) Output() (string, error) {
+	if e.Check {
+		return checkOutput(e.Config)
+	}
+	return e.Artefact.Output(e.Config)
+}
+
+// Job adapts the entry for RunJobs.
+func (e PlanEntry) Job() Job {
+	return Job{Name: e.JobName(), Run: e.Output}
+}
+
+func checkOutput(cfg Config) (string, error) {
+	checks, err := Checks(cfg)
+	if err != nil {
+		return "", err
+	}
+	rendered, ok := RenderChecks(checks)
+	out := fmt.Sprintf("Security verdicts, %s:\n%s", cfg.Platform.Name, rendered)
+	if !ok {
+		return out + "CHECK FAILED\n", ErrCheckFailed
+	}
+	return out + "all verdicts hold\n", nil
+}
+
+// Expand resolves a spec against the registry into the ordered entry
+// list: global artefacts first (Table 1 is platform-independent), then
+// every selected artefact per platform in the paper's order, then that
+// platform's check gate. The order matches what the sequential tpbench
+// has always printed; RunJobs preserves it at any worker count.
+func Expand(spec PlanSpec) []PlanEntry {
+	var entries []PlanEntry
+	reg := Registry()
+	for _, a := range reg {
+		if a.Global && a.selectedBy(spec) {
+			entries = append(entries, PlanEntry{Artefact: a, Config: spec.Base})
+		}
 	}
 	for _, plat := range spec.Platforms {
 		cfg := spec.Base
 		cfg.Platform = plat
-		arts := []artefact{
-			{"table2", spec.All || spec.Table == 2, false, func(cfg Config) (string, error) {
-				r, err := Table2(cfg)
-				return r.Render(), err
-			}},
-			{"figure3", spec.All || spec.Figure == 3, false, func(cfg Config) (string, error) {
-				r, err := Figure3(cfg)
-				return r.Render(), err
-			}},
-			{"table3", spec.All || spec.Table == 3, false, func(cfg Config) (string, error) {
-				r, err := Table3(cfg)
-				return r.Render(), err
-			}},
-			{"figure4", spec.All || spec.Figure == 4, true, func(cfg Config) (string, error) {
-				r, err := Figure4(cfg)
-				return r.Render(), err
-			}},
-			{"table4", spec.All || spec.Figure == 5 || spec.Table == 4, false, func(cfg Config) (string, error) {
-				r, err := Table4(cfg)
-				return r.Render(), err
-			}},
-			{"figure6", spec.All || spec.Figure == 6, true, func(cfg Config) (string, error) {
-				r, err := Figure6(cfg)
-				return r.Render(), err
-			}},
-			{"table5", spec.All || spec.Table == 5, false, func(cfg Config) (string, error) {
-				r, err := Table5(cfg)
-				return r.Render(), err
-			}},
-			{"table6", spec.All || spec.Table == 6, false, func(cfg Config) (string, error) {
-				r, err := Table6(cfg)
-				return r.Render(), err
-			}},
-			{"table7", spec.All || spec.Table == 7, false, func(cfg Config) (string, error) {
-				r, err := Table7(cfg)
-				return r.Render(), err
-			}},
-			{"figure7", spec.All || spec.Figure == 7, false, func(cfg Config) (string, error) {
-				r, err := Figure7(cfg)
-				return r.Render(), err
-			}},
-			{"table8", spec.All || spec.Table == 8, false, func(cfg Config) (string, error) {
-				r, err := Table8(cfg)
-				return r.Render(), err
-			}},
-			{"ablations", spec.Ablations, false, func(cfg Config) (string, error) {
-				r, err := Ablations(cfg)
-				return r.Render(), err
-			}},
-			{"interconnect", spec.Extensions, false, func(cfg Config) (string, error) {
-				r, err := Interconnect(cfg)
-				return r.Render(), err
-			}},
-			{"cat", spec.Extensions, true, func(cfg Config) (string, error) {
-				r, err := CAT(cfg)
-				return r.Render(), err
-			}},
-			{"smt", spec.Extensions, true, func(cfg Config) (string, error) {
-				r, err := SMT(cfg)
-				return r.Render(), err
-			}},
-			{"fuzzytime", spec.Extensions, false, func(cfg Config) (string, error) {
-				r, err := FuzzyTime(cfg)
-				return r.Render(), err
-			}},
-		}
-		for _, a := range arts {
-			if !a.on || (a.x86 && plat.Arch != "x86") {
+		for _, a := range reg {
+			if a.Global || !a.selectedBy(spec) || !a.SupportsPlatform(plat) {
 				continue
 			}
-			render := a.render
-			jobs = append(jobs, Job{
-				Name: a.name + "/" + plat.Name,
-				Run:  func() (string, error) { return runWithMetrics(cfg, render) },
-			})
+			entries = append(entries, PlanEntry{Artefact: a, Config: cfg})
 		}
 		if spec.Check {
-			platName := plat.Name
-			jobs = append(jobs, Job{
-				Name: "check/" + platName,
-				Run: func() (string, error) {
-					checks, err := Checks(cfg)
-					if err != nil {
-						return "", err
-					}
-					rendered, ok := RenderChecks(checks)
-					out := fmt.Sprintf("Security verdicts, %s:\n%s", platName, rendered)
-					if !ok {
-						return out + "CHECK FAILED\n", ErrCheckFailed
-					}
-					return out + "all verdicts hold\n", nil
-				},
-			})
+			entries = append(entries, PlanEntry{Check: true, Config: cfg})
 		}
+	}
+	return entries
+}
+
+// Plan expands a spec into the ordered job list for RunJobs.
+func Plan(spec PlanSpec) []Job {
+	entries := Expand(spec)
+	jobs := make([]Job, len(entries))
+	for i, e := range entries {
+		jobs[i] = e.Job()
 	}
 	return jobs
 }

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+
+	"timeprotection/internal/hw"
+)
+
+// Artefact is one named, independently regenerable artefact of the
+// evaluation: a table, figure, or study with a stable string ID. The
+// registry is the single source of truth for what the reproduction can
+// produce — cmd/tpbench's flag dispatch, Plan, and the tpserved HTTP
+// API all resolve artefacts through it.
+type Artefact struct {
+	// Name is the stable ID ("table2", "figure3", "ablations", ...).
+	Name string
+	// Title is a one-line human description for listings.
+	Title string
+	// Table / Figure are the paper numbers -table / -figure select this
+	// artefact by (0 = not selected by that flag). An artefact may carry
+	// both: Table 4 is the tabular form of Figure 5.
+	Table  int
+	Figure int
+	// Group is "" for paper artefacts, "ablations" for the design-
+	// decision study, "extensions" for the beyond-the-paper studies.
+	Group string
+	// X86Only marks artefacts that exist only on x86 platforms
+	// (Figures 4 and 6, CAT, SMT).
+	X86Only bool
+	// Global marks platform-independent artefacts (Table 1): they render
+	// once per plan, not once per platform, and ignore Config.Platform.
+	Global bool
+	// Render produces the artefact body for a config. The registry keeps
+	// render functions uniform; Output adds the per-job framing
+	// (trailing newline, optional metrics report) tpbench emits.
+	Render func(Config) (string, error)
+}
+
+// Registry lists every artefact in the paper's presentation order —
+// the order Plan emits them in.
+func Registry() []Artefact {
+	return []Artefact{
+		{Name: "table1", Title: "hardware platform parameters", Table: 1, Global: true,
+			Render: func(Config) (string, error) { return Table1(), nil }},
+		{Name: "table2", Title: "worst-case on-core flush cost", Table: 2,
+			Render: func(cfg Config) (string, error) { r, err := Table2(cfg); return r.Render(), err }},
+		{Name: "figure3", Title: "kernel channel matrix", Figure: 3,
+			Render: func(cfg Config) (string, error) { r, err := Figure3(cfg); return r.Render(), err }},
+		{Name: "table3", Title: "intra-core covert channels", Table: 3,
+			Render: func(cfg Config) (string, error) { r, err := Table3(cfg); return r.Render(), err }},
+		{Name: "figure4", Title: "cross-core LLC side channel", Figure: 4, X86Only: true,
+			Render: func(cfg Config) (string, error) { r, err := Figure4(cfg); return r.Render(), err }},
+		{Name: "table4", Title: "cache-flush channel (Figure 5)", Table: 4, Figure: 5,
+			Render: func(cfg Config) (string, error) { r, err := Table4(cfg); return r.Render(), err }},
+		{Name: "figure6", Title: "interrupt channel", Figure: 6, X86Only: true,
+			Render: func(cfg Config) (string, error) { r, err := Figure6(cfg); return r.Render(), err }},
+		{Name: "table5", Title: "IPC microbenchmark", Table: 5,
+			Render: func(cfg Config) (string, error) { r, err := Table5(cfg); return r.Render(), err }},
+		{Name: "table6", Title: "domain-switch cost", Table: 6,
+			Render: func(cfg Config) (string, error) { r, err := Table6(cfg); return r.Render(), err }},
+		{Name: "table7", Title: "kernel clone lifecycle", Table: 7,
+			Render: func(cfg Config) (string, error) { r, err := Table7(cfg); return r.Render(), err }},
+		{Name: "figure7", Title: "Splash-2 colouring cost", Figure: 7,
+			Render: func(cfg Config) (string, error) { r, err := Figure7(cfg); return r.Render(), err }},
+		{Name: "table8", Title: "time-shared colouring impact", Table: 8,
+			Render: func(cfg Config) (string, error) { r, err := Table8(cfg); return r.Render(), err }},
+		{Name: "ablations", Title: "design-decision ablation study", Group: "ablations",
+			Render: func(cfg Config) (string, error) { r, err := Ablations(cfg); return r.Render(), err }},
+		{Name: "interconnect", Title: "bus and DRAM interconnect channels", Group: "extensions",
+			Render: func(cfg Config) (string, error) { r, err := Interconnect(cfg); return r.Render(), err }},
+		{Name: "cat", Title: "Intel CAT way-partitioning study", Group: "extensions", X86Only: true,
+			Render: func(cfg Config) (string, error) { r, err := CAT(cfg); return r.Render(), err }},
+		{Name: "smt", Title: "SMT contention channel", Group: "extensions", X86Only: true,
+			Render: func(cfg Config) (string, error) { r, err := SMT(cfg); return r.Render(), err }},
+		{Name: "fuzzytime", Title: "fuzzy-time countermeasure study", Group: "extensions",
+			Render: func(cfg Config) (string, error) { r, err := FuzzyTime(cfg); return r.Render(), err }},
+	}
+}
+
+// LookupArtefact resolves a registry name.
+func LookupArtefact(name string) (Artefact, bool) {
+	for _, a := range Registry() {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return Artefact{}, false
+}
+
+// ArtefactNames lists every registry name in order.
+func ArtefactNames() []string {
+	reg := Registry()
+	names := make([]string, len(reg))
+	for i, a := range reg {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// SupportsPlatform reports whether the artefact exists on the platform
+// (x86-only artefacts have no Arm equivalent).
+func (a Artefact) SupportsPlatform(plat hw.Platform) bool {
+	return !a.X86Only || plat.Arch == "x86"
+}
+
+// Output renders the artefact exactly as a tpbench job emits it: the
+// body with a separating newline, plus the cycle-accounting report when
+// cfg.Metrics asks for one. tpserved serves these same bytes, so CLI
+// output and HTTP responses are byte-identical for identical configs.
+func (a Artefact) Output(cfg Config) (string, error) {
+	if a.Global {
+		s, err := a.Render(cfg)
+		if err != nil {
+			return "", err
+		}
+		return s + "\n", nil
+	}
+	return runWithMetrics(cfg, a.Render)
+}
+
+// JobName is the name RunJobs reports for this artefact on a platform.
+func (a Artefact) JobName(plat hw.Platform) string {
+	if a.Global {
+		return a.Name
+	}
+	return a.Name + "/" + plat.Name
+}
+
+// selectedBy reports whether a PlanSpec's flag-style selectors pick
+// this artefact.
+func (a Artefact) selectedBy(spec PlanSpec) bool {
+	if spec.All && a.Group == "" {
+		return true
+	}
+	if a.Table != 0 && spec.Table == a.Table {
+		return true
+	}
+	if a.Figure != 0 && spec.Figure == a.Figure {
+		return true
+	}
+	if a.Group == "ablations" && spec.Ablations {
+		return true
+	}
+	if a.Group == "extensions" && spec.Extensions {
+		return true
+	}
+	for _, n := range spec.Artefacts {
+		if n == a.Name {
+			return true
+		}
+	}
+	return false
+}
+
+// ValidateArtefactNames rejects names absent from the registry.
+func ValidateArtefactNames(names []string) error {
+	for _, n := range names {
+		if _, ok := LookupArtefact(n); !ok {
+			return fmt.Errorf("unknown artefact %q (known: %v)", n, ArtefactNames())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"timeprotection/internal/hw"
+)
+
+// TestPlanJobNamesMatchLegacyOrder pins the job list the registry-based
+// Plan produces for the full spec: Table 1 once, then every artefact per
+// platform in paper order, with x86-only artefacts skipped on Arm, then
+// the check gate.
+func TestPlanJobNamesMatchLegacyOrder(t *testing.T) {
+	spec := PlanSpec{
+		Platforms: []hw.Platform{hw.Haswell(), hw.Sabre()},
+		All:       true,
+		Check:     true,
+	}
+	var names []string
+	for _, e := range Expand(spec) {
+		names = append(names, e.JobName())
+	}
+	h, s := hw.Haswell().Name, hw.Sabre().Name
+	want := []string{"table1"}
+	for _, plat := range []string{h, s} {
+		for _, a := range []string{"table2", "figure3", "table3", "figure4", "table4",
+			"figure6", "table5", "table6", "table7", "figure7", "table8"} {
+			if plat == s && (a == "figure4" || a == "figure6") {
+				continue // x86-only
+			}
+			want = append(want, a+"/"+plat)
+		}
+		want = append(want, "check/"+plat)
+	}
+	if len(names) != len(want) {
+		t.Fatalf("job count %d, want %d\ngot:  %v\nwant: %v", len(names), len(want), names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("job %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+// TestFlagSelectors checks the -table/-figure/-ablations/-extensions
+// selection semantics survive the registry rewrite, including Table 4
+// doubling as Figure 5.
+func TestFlagSelectors(t *testing.T) {
+	plats := []hw.Platform{hw.Haswell()}
+	cases := []struct {
+		spec PlanSpec
+		want []string
+	}{
+		{PlanSpec{Platforms: plats, Table: 1}, []string{"table1"}},
+		{PlanSpec{Platforms: plats, Table: 4}, []string{"table4"}},
+		{PlanSpec{Platforms: plats, Figure: 5}, []string{"table4"}},
+		{PlanSpec{Platforms: plats, Figure: 4}, []string{"figure4"}},
+		{PlanSpec{Platforms: plats, Ablations: true}, []string{"ablations"}},
+		{PlanSpec{Platforms: plats, Extensions: true}, []string{"interconnect", "cat", "smt", "fuzzytime"}},
+		{PlanSpec{Platforms: plats, Artefacts: []string{"table2", "smt"}}, []string{"table2", "smt"}},
+	}
+	for _, c := range cases {
+		var got []string
+		for _, e := range Expand(c.spec) {
+			got = append(got, strings.SplitN(e.JobName(), "/", 2)[0])
+		}
+		if len(got) != len(c.want) {
+			t.Errorf("spec %+v: got %v, want %v", c.spec, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("spec %+v: job %d = %q, want %q", c.spec, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+// TestRegistryLookup covers name resolution and validation.
+func TestRegistryLookup(t *testing.T) {
+	a, ok := LookupArtefact("figure4")
+	if !ok || !a.X86Only || a.Figure != 4 {
+		t.Fatalf("figure4 lookup wrong: %+v ok=%v", a, ok)
+	}
+	if _, ok := LookupArtefact("table9"); ok {
+		t.Error("table9 should not resolve")
+	}
+	if err := ValidateArtefactNames([]string{"table2", "ablations"}); err != nil {
+		t.Errorf("valid names rejected: %v", err)
+	}
+	if err := ValidateArtefactNames([]string{"nope"}); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if a.SupportsPlatform(hw.Sabre()) {
+		t.Error("figure4 must not support Arm")
+	}
+}
+
+// TestCanonicalPreservesSeedZero is the regression test for the seed-0
+// bug: canonicalisation fills platform and sample defaults but must not
+// rewrite seed 0 to the conventional 42 (that default belongs to flag
+// and option declarations).
+func TestCanonicalPreservesSeedZero(t *testing.T) {
+	c := Config{Seed: 0}.Canonical()
+	if c.Seed != 0 {
+		t.Errorf("Canonical rewrote seed 0 to %d", c.Seed)
+	}
+	if c.Samples != 150 || c.Platform.Cores == 0 {
+		t.Errorf("Canonical defaults missing: %+v", c)
+	}
+	// Canonicalisation is idempotent — the cache-key property.
+	if c2 := c.Canonical(); c2 != c {
+		t.Errorf("Canonical not idempotent: %+v vs %+v", c, c2)
+	}
+}

@@ -1,0 +1,104 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+)
+
+// CacheStats is a snapshot of the result cache's counters for /metricz.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Cache is a content-addressed in-memory result cache. Keys are the
+// SHA-256 of a canonical request description (artefact, platform,
+// canonical Config), so two requests that mean the same run hash to the
+// same entry no matter how they were spelled. Runs are deterministic,
+// so entries never expire; a bounded entry count with LRU eviction
+// keeps memory finite under many distinct configs.
+type Cache struct {
+	mu        sync.Mutex
+	max       int
+	ll        *list.List // front = most recently used
+	items     map[string]*list.Element
+	bytes     int64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache builds a cache bounded to max entries (max <= 0 means a
+// default of 1024).
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 1024
+	}
+	return &Cache{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// ContentKey hashes a canonical request description into the cache's
+// address space.
+func ContentKey(canonical string) string {
+	sum := sha256.Sum256([]byte(canonical))
+	return hex.EncodeToString(sum[:])
+}
+
+// Get returns the cached body for a key. The returned slice is shared;
+// callers must not mutate it.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores a body under a key, evicting the least recently used
+// entries beyond the bound. Storing an existing key is a no-op (bodies
+// are deterministic, so the stored value is already correct).
+func (c *Cache) Put(key string, body []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, body: body})
+	c.bytes += int64(len(body))
+	for c.ll.Len() > c.max {
+		el := c.ll.Back()
+		e := el.Value.(*cacheEntry)
+		c.ll.Remove(el)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.body))
+		c.evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+		Evictions: c.evictions,
+	}
+}

@@ -1,0 +1,297 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"timeprotection/internal/experiments"
+	"timeprotection/internal/hw"
+)
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricz", s.handleMetricz)
+	s.mux.HandleFunc("GET /v1/artefacts", s.handleList)
+	s.mux.HandleFunc("GET /v1/artefacts/{name}", s.handleArtefact)
+	s.mux.HandleFunc("POST /v1/runs", s.handleRuns)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	s.errors.Add(1)
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, "ok\n")
+}
+
+// Metrics is the /metricz document.
+type Metrics struct {
+	Cache        CacheStats `json:"cache"`
+	Singleflight struct {
+		Shared uint64 `json:"shared"`
+	} `json:"singleflight"`
+	Pool     PoolStats `json:"pool"`
+	Requests struct {
+		Total  uint64 `json:"total"`
+		Errors uint64 `json:"errors"`
+	} `json:"requests"`
+	DriverRuns uint64 `json:"driver_runs"`
+}
+
+// Snapshot collects the current counters (also used by tests).
+func (s *Server) Snapshot() Metrics {
+	var m Metrics
+	m.Cache = s.cache.Stats()
+	m.Singleflight.Shared = s.flights.Shared()
+	m.Pool = s.pool.Stats()
+	m.Requests.Total = s.requests.Load()
+	m.Requests.Errors = s.errors.Load()
+	m.DriverRuns = s.runs.Load()
+	return m
+}
+
+func (s *Server) handleMetricz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.Snapshot())
+}
+
+// artefactInfo is one /v1/artefacts listing row.
+type artefactInfo struct {
+	Name      string   `json:"name"`
+	Title     string   `json:"title"`
+	Table     int      `json:"table,omitempty"`
+	Figure    int      `json:"figure,omitempty"`
+	Group     string   `json:"group,omitempty"`
+	Global    bool     `json:"global,omitempty"`
+	Platforms []string `json:"platforms"`
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	var list []artefactInfo
+	for _, a := range experiments.Registry() {
+		info := artefactInfo{
+			Name: a.Name, Title: a.Title, Table: a.Table, Figure: a.Figure,
+			Group: a.Group, Global: a.Global,
+		}
+		switch {
+		case a.Global:
+			info.Platforms = []string{}
+		case a.X86Only:
+			info.Platforms = []string{"haswell"}
+		default:
+			info.Platforms = []string{"haswell", "sabre"}
+		}
+		list = append(list, info)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(list)
+}
+
+// parseConfig builds an experiments.Config from query-style parameters.
+// The seed default of 42 lives here, in the parameter declaration —
+// seed=0 is a valid, distinct seed (see Config.Canonical).
+func parseConfig(get func(string) string) (experiments.Config, error) {
+	cfg := experiments.Config{Seed: 42}
+	intField := func(name string, dst *int) error {
+		v := get(name)
+		if v == "" {
+			return nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad %s %q", name, v)
+		}
+		*dst = n
+		return nil
+	}
+	if err := intField("samples", &cfg.Samples); err != nil {
+		return cfg, err
+	}
+	if err := intField("blocks", &cfg.SplashBlocks); err != nil {
+		return cfg, err
+	}
+	if err := intField("slices", &cfg.Table8Slices); err != nil {
+		return cfg, err
+	}
+	if v := get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return cfg, fmt.Errorf("bad seed %q", v)
+		}
+		cfg.Seed = n
+	}
+	switch v := get("metrics"); v {
+	case "", "false", "0":
+	case "true", "1":
+		cfg.Metrics = true
+	default:
+		return cfg, fmt.Errorf("bad metrics %q (true|false)", v)
+	}
+	return cfg, nil
+}
+
+func (s *Server) handleArtefact(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	art, ok := experiments.LookupArtefact(name)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown artefact %q (known: %v)", name, experiments.ArtefactNames())
+		return
+	}
+	q := r.URL.Query()
+	cfg, err := parseConfig(q.Get)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	platName := q.Get("platform")
+	if platName == "" {
+		platName = "haswell"
+	}
+	plat, ok := hw.PlatformByName(platName)
+	if !ok {
+		s.fail(w, http.StatusBadRequest, "unknown platform %q (haswell|sabre)", platName)
+		return
+	}
+	if !art.SupportsPlatform(plat) {
+		s.fail(w, http.StatusBadRequest, "artefact %q is x86-only, not available on %q", name, platName)
+		return
+	}
+	cfg.Platform = plat
+	entry := experiments.PlanEntry{Artefact: art, Config: cfg.Canonical()}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	body, hit, err := s.result(ctx, entry, false)
+	if err != nil {
+		s.fail(w, httpStatusFor(err), "%s: %v", entry.JobName(), err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if hit {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	w.Write(body)
+}
+
+// RunRequest is the POST /v1/runs body: a JSON rendering of
+// experiments.PlanSpec plus the shared config knobs.
+type RunRequest struct {
+	Platforms  []string `json:"platforms"` // default ["haswell","sabre"]
+	Artefacts  []string `json:"artefacts"` // registry names
+	All        bool     `json:"all"`
+	Table      int      `json:"table"`
+	Figure     int      `json:"figure"`
+	Ablations  bool     `json:"ablations"`
+	Extensions bool     `json:"extensions"`
+	Check      bool     `json:"check"`
+
+	Samples int    `json:"samples"`
+	Seed    *int64 `json:"seed"` // nil = 42; 0 is a valid seed
+	Blocks  int    `json:"blocks"`
+	Slices  int    `json:"slices"`
+	Metrics bool   `json:"metrics"`
+}
+
+func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, "bad run request: %v", err)
+		return
+	}
+	if err := experiments.ValidateArtefactNames(req.Artefacts); err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	platNames := req.Platforms
+	if len(platNames) == 0 {
+		platNames = []string{"haswell", "sabre"}
+	}
+	var plats []hw.Platform
+	for _, n := range platNames {
+		p, ok := hw.PlatformByName(n)
+		if !ok {
+			s.fail(w, http.StatusBadRequest, "unknown platform %q (haswell|sabre)", n)
+			return
+		}
+		plats = append(plats, p)
+	}
+	seed := int64(42)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	base := experiments.Config{
+		Samples: req.Samples, SplashBlocks: req.Blocks, Seed: seed,
+		Table8Slices: req.Slices, Metrics: req.Metrics,
+	}.Canonical()
+	entries := experiments.Expand(experiments.PlanSpec{
+		Platforms:  plats,
+		Base:       base,
+		All:        req.All,
+		Table:      req.Table,
+		Figure:     req.Figure,
+		Artefacts:  req.Artefacts,
+		Ablations:  req.Ablations,
+		Extensions: req.Extensions,
+		Check:      req.Check,
+	})
+	if len(entries) == 0 {
+		s.fail(w, http.StatusBadRequest, "run request selects no artefacts")
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	// Results stream in plan order via chunked transfer as they
+	// complete: RunJobs buffers each job and emits in slice order, and
+	// the flushing writer pushes every completed artefact to the client
+	// immediately. Batch entries use blocking admission — the batch
+	// itself was already accepted.
+	jobs := make([]experiments.Job, len(entries))
+	for i, e := range entries {
+		e := e
+		jobs[i] = experiments.Job{Name: e.JobName(), Run: func() (string, error) {
+			body, _, err := s.result(ctx, e, true)
+			return string(body), err
+		}}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fw := &flushWriter{w: w}
+	if f, ok := w.(http.Flusher); ok {
+		fw.f = f
+	}
+	if err := experiments.RunJobs(jobs, s.opts.Parallel, fw); err != nil {
+		// Headers are gone; append the error to the stream (a failed
+		// check's verdict table has already been emitted above it).
+		s.errors.Add(1)
+		fmt.Fprintf(fw, "tpserved: %v\n", err)
+	}
+}
+
+// flushWriter flushes after every write so completed artefacts reach
+// the client while later jobs still run.
+type flushWriter struct {
+	w io.Writer
+	f http.Flusher
+}
+
+func (fw *flushWriter) Write(p []byte) (int, error) {
+	n, err := fw.w.Write(p)
+	if fw.f != nil {
+		fw.f.Flush()
+	}
+	return n, err
+}

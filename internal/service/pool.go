@@ -1,0 +1,131 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by TrySubmit when the pending queue is at
+// capacity; handlers translate it into 429 Too Many Requests.
+var ErrQueueFull = errors.New("worker queue full")
+
+// ErrPoolClosed is returned once the pool has begun draining.
+var ErrPoolClosed = errors.New("worker pool closed")
+
+// PoolStats is a snapshot of the worker pool's counters for /metricz.
+type PoolStats struct {
+	Workers   int    `json:"workers"`
+	QueueCap  int    `json:"queue_cap"`
+	Queued    int    `json:"queued"`
+	Active    int64  `json:"active"`
+	Completed uint64 `json:"completed"`
+	Rejected  uint64 `json:"rejected"`
+}
+
+// Pool is a bounded worker pool: Workers goroutines drain a bounded
+// task queue. TrySubmit rejects when the queue is full (backpressure
+// for interactive requests); Submit blocks (batch runs that were
+// already admitted). Close drains gracefully: queued tasks still run,
+// new submissions fail.
+type Pool struct {
+	// mu guards sends against Close closing the task channel: senders
+	// hold it shared, Close exclusively. Workers keep draining while a
+	// blocked Submit holds the read lock, so Close cannot deadlock.
+	mu        sync.RWMutex
+	tasks     chan func()
+	workers   int
+	queueCap  int
+	closed    bool
+	wg        sync.WaitGroup
+	active    atomic.Int64
+	completed atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// NewPool starts workers goroutines over a queue of capacity queue.
+// Non-positive arguments select 1 worker / a queue of 4*workers.
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 4 * workers
+	}
+	p := &Pool{
+		tasks:    make(chan func(), queue),
+		workers:  workers,
+		queueCap: queue,
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				p.active.Add(1)
+				f()
+				p.active.Add(-1)
+				p.completed.Add(1)
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues f, failing fast with ErrQueueFull when the queue
+// is at capacity.
+func (p *Pool) TrySubmit(f func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- f:
+		return nil
+	default:
+		p.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// Submit enqueues f, blocking until queue space frees up or the context
+// is cancelled.
+func (p *Pool) Submit(ctx context.Context, f func()) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- f:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close stops accepting work and waits for queued and in-flight tasks
+// to finish — the graceful-drain half of SIGTERM handling.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// Stats snapshots the counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers:   p.workers,
+		QueueCap:  p.queueCap,
+		Queued:    len(p.tasks),
+		Active:    p.active.Load(),
+		Completed: p.completed.Load(),
+		Rejected:  p.rejected.Load(),
+	}
+}

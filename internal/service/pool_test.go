@@ -1,0 +1,94 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolRunsEverythingAndDrains(t *testing.T) {
+	p := NewPool(3, 8)
+	var done atomic.Int64
+	for i := 0; i < 8; i++ {
+		if err := p.Submit(context.Background(), func() { done.Add(1) }); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	p.Close()
+	if done.Load() != 8 {
+		t.Fatalf("drained %d of 8 tasks", done.Load())
+	}
+	if err := p.TrySubmit(func() {}); !errors.Is(err, ErrPoolClosed) {
+		t.Errorf("submit after close = %v, want ErrPoolClosed", err)
+	}
+	if st := p.Stats(); st.Completed != 8 {
+		t.Errorf("completed = %d, want 8", st.Completed)
+	}
+}
+
+func TestPoolTrySubmitBackpressure(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.TrySubmit(func() { close(started); <-block })
+	<-started                       // worker busy
+	p.TrySubmit(func() { <-block }) // queue slot taken
+	err := p.TrySubmit(func() {})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit = %v, want ErrQueueFull", err)
+	}
+	close(block)
+}
+
+func TestPoolSubmitHonoursContext(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	p.TrySubmit(func() { close(started); <-block })
+	<-started
+	p.TrySubmit(func() { <-block })
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := p.Submit(ctx, func() {}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("submit on cancelled ctx = %v", err)
+	}
+	close(block)
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("aaa"))
+	c.Put("b", []byte("bbb"))
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", []byte("cc"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should survive (recently used)")
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 2 entries, 1 eviction", st)
+	}
+	if st.Bytes != int64(len("aaa")+len("cc")) {
+		t.Errorf("bytes = %d", st.Bytes)
+	}
+}
+
+func TestContentKeyStable(t *testing.T) {
+	if ContentKey("x") != ContentKey("x") {
+		t.Error("ContentKey not deterministic")
+	}
+	if ContentKey("x") == ContentKey("y") {
+		t.Error("ContentKey collides trivially")
+	}
+	if len(ContentKey("x")) != 64 {
+		t.Errorf("ContentKey length %d, want 64 hex chars", len(ContentKey("x")))
+	}
+}

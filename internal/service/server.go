@@ -1,0 +1,181 @@
+// Package service implements tpserved: a long-running HTTP/JSON daemon
+// that serves the paper's artefacts over the deterministic experiment
+// drivers. Because every run is deterministic, responses flow through a
+// content-addressed result cache keyed by (artefact, platform,
+// canonical Config); concurrent identical requests collapse to one
+// driver run via singleflight; actual compute is bounded by a worker
+// pool with a bounded queue (429 backpressure) and per-request
+// timeouts. Bodies are byte-identical to what cmd/tpbench prints for
+// the same config — both sides render through the artefact registry in
+// internal/experiments.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"timeprotection/internal/experiments"
+)
+
+// Options configures a Server. The zero value selects sane defaults.
+type Options struct {
+	// Parallel is the worker-pool size (default: NumCPU).
+	Parallel int
+	// Queue is the pending-compute bound (default: 4*Parallel); a full
+	// queue rejects interactive requests with 429.
+	Queue int
+	// CacheEntries bounds the result cache (default 1024).
+	CacheEntries int
+	// Timeout bounds how long one request waits for its artefact
+	// (default 5 minutes). The driver run itself is not cancelled — its
+	// result still lands in the cache for the retry.
+	Timeout time.Duration
+	// Runner computes one plan entry's output. Nil selects the real
+	// drivers (PlanEntry.Output); tests inject counting or blocking
+	// runners.
+	Runner func(experiments.PlanEntry) (string, error)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Parallel < 1 {
+		o.Parallel = runtime.NumCPU()
+	}
+	if o.Queue < 1 {
+		o.Queue = 4 * o.Parallel
+	}
+	if o.CacheEntries < 1 {
+		o.CacheEntries = 1024
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 5 * time.Minute
+	}
+	if o.Runner == nil {
+		o.Runner = func(e experiments.PlanEntry) (string, error) { return e.Output() }
+	}
+	return o
+}
+
+// Server owns the cache, singleflight group and worker pool behind the
+// HTTP API.
+type Server struct {
+	opts    Options
+	cache   *Cache
+	flights flightGroup
+	pool    *Pool
+	mux     *http.ServeMux
+
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	runs     atomic.Uint64 // actual driver invocations
+}
+
+// New assembles a Server. Call Close to drain the worker pool.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:  opts.withDefaults(),
+		cache: NewCache(opts.CacheEntries),
+	}
+	s.pool = NewPool(s.opts.Parallel, s.opts.Queue)
+	s.mux = http.NewServeMux()
+	s.routes()
+	return s
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close drains the worker pool (graceful SIGTERM shutdown: the HTTP
+// listener stops first, then in-flight computes finish here).
+func (s *Server) Close() { s.pool.Close() }
+
+// entryKey renders the canonical identity of a plan entry — the string
+// the content-addressed cache hashes. Tracer is excluded (runtime
+// attachment); every other Config field changes the bytes produced.
+func entryKey(e experiments.PlanEntry) string {
+	if !e.Check && e.Artefact.Global {
+		// Platform-independent artefacts render the same bytes for any
+		// config.
+		return e.Artefact.Name + "|global"
+	}
+	name := e.Artefact.Name
+	if e.Check {
+		name = "check"
+	}
+	c := e.Config.Canonical()
+	return fmt.Sprintf("%s|%s|samples=%d|blocks=%d|seed=%d|t8=%d|metrics=%t",
+		name, c.Platform.Name, c.Samples, c.SplashBlocks, c.Seed, c.Table8Slices, c.Metrics)
+}
+
+// result serves one plan entry through cache, singleflight and the
+// worker pool. block selects blocking queue admission (batch runs that
+// were already admitted) over fail-fast 429 backpressure (interactive
+// requests). The returned bool reports a direct cache hit.
+func (s *Server) result(ctx context.Context, e experiments.PlanEntry, block bool) ([]byte, bool, error) {
+	key := ContentKey(entryKey(e))
+	if body, ok := s.cache.Get(key); ok {
+		return body, true, nil
+	}
+	body, err, _ := s.flights.Do(key, func() ([]byte, error) {
+		// Re-check under the flight: a previous flight may have filled
+		// the cache between our miss and acquiring the flight.
+		if body, ok := s.cache.Get(key); ok {
+			return body, nil
+		}
+		type outcome struct {
+			body []byte
+			err  error
+		}
+		done := make(chan outcome, 1)
+		task := func() {
+			s.runs.Add(1)
+			out, err := s.opts.Runner(e)
+			body := []byte(out)
+			if err == nil {
+				s.cache.Put(key, body)
+			}
+			done <- outcome{body, err}
+		}
+		var submitErr error
+		if block {
+			submitErr = s.pool.Submit(ctx, task)
+		} else {
+			submitErr = s.pool.TrySubmit(task)
+		}
+		if submitErr != nil {
+			return nil, submitErr
+		}
+		select {
+		case o := <-done:
+			return o.body, o.err
+		case <-ctx.Done():
+			// The driver keeps running on its worker and will still
+			// populate the cache; only this waiter gives up.
+			return nil, ctx.Err()
+		}
+	})
+	return body, false, err
+}
+
+// httpStatusFor maps compute errors onto response codes.
+func httpStatusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup deduplicates concurrent identical work: while one caller
+// computes the result for a key, later callers with the same key block
+// and receive the same result instead of re-running the (expensive,
+// deterministic) driver. A minimal reimplementation of
+// golang.org/x/sync/singleflight — the module is standard-library only.
+type flightGroup struct {
+	mu     sync.Mutex
+	flight map[string]*flightCall
+	shared atomic.Uint64 // calls served by someone else's run
+}
+
+type flightCall struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+// Do runs fn once per key among concurrent callers. The boolean reports
+// whether this caller shared another caller's result.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) ([]byte, error, bool) {
+	g.mu.Lock()
+	if g.flight == nil {
+		g.flight = make(map[string]*flightCall)
+	}
+	if c, ok := g.flight[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		g.shared.Add(1)
+		return c.body, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.flight[key] = c
+	g.mu.Unlock()
+
+	c.body, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.flight, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.body, c.err, false
+}
+
+// Shared returns the number of calls that were answered by another
+// caller's in-flight run.
+func (g *flightGroup) Shared() uint64 { return g.shared.Load() }

@@ -1,0 +1,68 @@
+package timeprot
+
+import (
+	"timeprotection/internal/channel"
+)
+
+// Resource identifies the on-core microarchitectural state an
+// intra-core channel targets (paper Table 3).
+type Resource = channel.Resource
+
+// Intra-core channel targets.
+const (
+	L1D = channel.L1D
+	L1I = channel.L1I
+	L2  = channel.L2
+	TLB = channel.TLB
+	BTB = channel.BTB
+	BHB = channel.BHB
+)
+
+// Resources lists the platform's intra-core channel targets in Table 3
+// order.
+func Resources(p Platform) []Resource { return channel.Resources(p) }
+
+// LLCAttackResult is the outcome of the cross-core prime&probe key
+// recovery (paper Figure 4).
+type LLCAttackResult = channel.LLCSideChannelResult
+
+func (s settings) spec() channel.Spec {
+	return channel.Spec{
+		Platform: s.platform,
+		Scenario: s.scenario,
+		Samples:  s.samples,
+		Seed:     s.seed,
+	}
+}
+
+// MeasureChannel runs an intra-core covert channel through the given
+// resource: a sender modulates the resource's state with its secret, a
+// receiver in another domain measures its own access latency. The
+// returned dataset feeds Analyze.
+func MeasureChannel(res Resource, opts ...Option) (*Dataset, error) {
+	return channel.RunIntraCore(newSettings(opts).spec(), res)
+}
+
+// MeasureKernelChannel runs the kernel-footprint covert channel of
+// paper Figure 3: the sender modulates which system calls it makes, the
+// receiver observes the shared kernel's cache footprint. Kernel cloning
+// closes it.
+func MeasureKernelChannel(opts ...Option) (*Dataset, error) {
+	return channel.RunKernelChannel(newSettings(opts).spec())
+}
+
+// MeasureLLCAttack mounts the cross-core ElGamal key-recovery attack on
+// the shared last-level cache (paper Figure 4). Partitioning the LLC by
+// page colouring leaves the spy blind.
+func MeasureLLCAttack(opts ...Option) (*LLCAttackResult, error) {
+	return channel.RunLLCSideChannel(newSettings(opts).spec())
+}
+
+// MeasureInterruptChannel runs the interrupt-timing channel of paper
+// §5.3.5: a trojan programs a timer to split the spy's time slice at a
+// secret-dependent point. partitioned binds the interrupt to the
+// trojan's kernel image (Kernel_SetInt), deferring delivery to the
+// trojan's own slices and closing the channel.
+func MeasureInterruptChannel(partitioned bool, opts ...Option) (*Dataset, error) {
+	return channel.RunInterruptChannel(newSettings(opts).spec(), partitioned)
+}
