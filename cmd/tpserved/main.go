@@ -8,6 +8,8 @@
 //
 //	tpserved                              # listen on :8080
 //	tpserved -addr :9000 -parallel 8      # bounded worker pool of 8
+//	tpserved -retries 3 -breaker-threshold 5 -log   # hardened serving
+//	tpserved -fault-rate 0.3 -fault-panic-rate 0.2 -retries 8   # chaos drill
 //
 // API:
 //
@@ -15,12 +17,22 @@
 //	GET  /v1/artefacts/{name}?platform=haswell&samples=150&seed=42&metrics=false
 //	POST /v1/runs                         # PlanSpec as JSON; results stream in plan order
 //	GET  /healthz
-//	GET  /metricz                         # cache / singleflight / pool counters (JSON)
+//	GET  /metricz                         # cache / singleflight / pool / breaker counters (JSON)
 //
 // Artefact bodies are byte-identical to cmd/tpbench's output for the
 // same config. SIGINT/SIGTERM drain gracefully: the listener closes,
 // in-flight requests and queued driver runs finish, then the process
 // exits.
+//
+// Resilience: failed driver runs are retried with exponential backoff
+// (-retries, -retry-base), repeatedly failing artefacts are cut off by
+// a per-artefact circuit breaker (-breaker-threshold,
+// -breaker-cooldown), overload is shed with 503 (-max-inflight), and
+// -log emits one structured line per request. The -fault-* flags wrap
+// the drivers in deterministic, seed-driven fault injection
+// (internal/fault) for chaos drills: the daemon must keep serving —
+// panics are isolated and converted to errors, no goroutine leaks, no
+// singleflight key wedges, no worker dies.
 package main
 
 import (
@@ -36,6 +48,7 @@ import (
 	"syscall"
 	"time"
 
+	"timeprotection/internal/fault"
 	"timeprotection/internal/service"
 )
 
@@ -45,21 +58,60 @@ func main() {
 		parallel = flag.Int("parallel", runtime.NumCPU(), "concurrent experiment workers")
 		queue    = flag.Int("queue", 0, "pending-run queue bound (0 = 4*parallel); overflow returns 429")
 		cacheMax = flag.Int("cache", 1024, "maximum cached artefact bodies")
-		timeout  = flag.Duration("timeout", 5*time.Minute, "per-request wait bound")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "per-entry wait bound (each batch entry gets its own)")
 		grace    = flag.Duration("grace", 30*time.Second, "shutdown drain bound after SIGTERM")
+
+		retries     = flag.Int("retries", 0, "re-attempts per failed driver run (exponential backoff)")
+		retryBase   = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff; doubles per attempt, jittered, capped at 5s")
+		brkThresh   = flag.Int("breaker-threshold", 0, "consecutive failures that open an artefact's circuit breaker (0 = disabled)")
+		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit fast-fails before a half-open probe")
+		maxInflight = flag.Int("max-inflight", 0, "shed requests beyond this many in flight with 503 (0 = unlimited)")
+		logReqs     = flag.Bool("log", false, "log one structured line per request to stderr")
+
+		faultRate    = flag.Float64("fault-rate", 0, "injected driver error probability in [0,1] (chaos drills)")
+		faultPanic   = flag.Float64("fault-panic-rate", 0, "injected driver panic probability in [0,1]")
+		faultLatency = flag.Float64("fault-latency-rate", 0, "injected added-latency probability in [0,1]")
+		faultDelay   = flag.Duration("fault-delay", 10*time.Millisecond, "latency added when a latency fault fires")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for the deterministic fault stream")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "tpserved: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
 	}
+	for _, rate := range []float64{*faultRate, *faultPanic, *faultLatency} {
+		if rate < 0 || rate > 1 {
+			fmt.Fprintf(os.Stderr, "tpserved: fault rates must be in [0,1], got %v\n", rate)
+			os.Exit(2)
+		}
+	}
 
-	svc := service.New(service.Options{
-		Parallel:     *parallel,
-		Queue:        *queue,
-		CacheEntries: *cacheMax,
-		Timeout:      *timeout,
-	})
+	opts := service.Options{
+		Parallel:         *parallel,
+		Queue:            *queue,
+		CacheEntries:     *cacheMax,
+		Timeout:          *timeout,
+		Retries:          *retries,
+		RetryBase:        *retryBase,
+		BreakerThreshold: *brkThresh,
+		BreakerCooldown:  *brkCooldown,
+		MaxInflight:      *maxInflight,
+	}
+	if *logReqs {
+		opts.AccessLog = log.New(os.Stderr, "tpserved: ", log.LstdFlags|log.Lmicroseconds)
+	}
+	if *faultRate > 0 || *faultPanic > 0 || *faultLatency > 0 {
+		injector := fault.Wrap(nil, fault.Config{
+			Seed:  *faultSeed,
+			Rates: fault.Rates{Error: *faultRate, Panic: *faultPanic, Latency: *faultLatency},
+			Delay: *faultDelay,
+		})
+		opts.Runner = injector.Run
+		log.Printf("tpserved: FAULT INJECTION enabled (error=%.2f panic=%.2f latency=%.2f seed=%d) — chaos drill, not production",
+			*faultRate, *faultPanic, *faultLatency, *faultSeed)
+	}
+
+	svc := service.New(opts)
 	srv := &http.Server{Addr: *addr, Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -67,7 +119,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("tpserved: listening on %s (%d workers)", *addr, *parallel)
+	log.Printf("tpserved: listening on %s (%d workers, %d retries, breaker threshold %d)",
+		*addr, *parallel, *retries, *brkThresh)
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"timeprotection/internal/experiments"
+)
+
+func entry(name string) experiments.PlanEntry {
+	return experiments.PlanEntry{Artefact: experiments.Artefact{Name: name}}
+}
+
+func okRunner(e experiments.PlanEntry) (string, error) { return "body " + e.Artefact.Name, nil }
+
+// collect runs n attempts for one artefact and records each outcome as
+// "ok", "err" or "panic".
+func collect(r *Runner, name string, n int) []string {
+	outcomes := make([]string, n)
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if recover() != nil {
+					outcomes[i] = "panic"
+				}
+			}()
+			_, err := r.Run(entry(name))
+			if err != nil {
+				outcomes[i] = "err"
+			} else {
+				outcomes[i] = "ok"
+			}
+		}()
+	}
+	return outcomes
+}
+
+func TestZeroConfigPassesThrough(t *testing.T) {
+	r := Wrap(okRunner, Config{})
+	for i := 0; i < 50; i++ {
+		out, err := r.Run(entry("table2"))
+		if err != nil || out != "body table2" {
+			t.Fatalf("attempt %d: %q, %v", i, out, err)
+		}
+	}
+	st := r.Stats()
+	if st.Calls != 50 || st.Clean != 50 || st.Errors+st.Panics+st.Delays != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCertainRates(t *testing.T) {
+	r := Wrap(okRunner, Config{Rates: Rates{Error: 1}})
+	if _, err := r.Run(entry("a")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("error rate 1 gave %v", err)
+	}
+	p := Wrap(okRunner, Config{Rates: Rates{Panic: 1}})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic rate 1 did not panic")
+			}
+		}()
+		p.Run(entry("a"))
+	}()
+}
+
+// TestDeterministicAcrossInterleavings is the reason the package
+// exists: the per-artefact decision sequence depends only on (seed,
+// artefact, attempt), not on how calls from different artefacts
+// interleave — so chaos tests replay bit-identically.
+func TestDeterministicAcrossInterleavings(t *testing.T) {
+	cfg := Config{Seed: 7, Rates: Rates{Error: 0.3, Panic: 0.2, Latency: 0}}
+	sequential := Wrap(okRunner, cfg)
+	seqA := collect(sequential, "table2", 40)
+	seqB := collect(sequential, "figure3", 40)
+
+	interleaved := Wrap(okRunner, cfg)
+	intA := make([]string, 0, 40)
+	intB := make([]string, 0, 40)
+	for i := 0; i < 40; i++ { // alternate artefacts call-by-call
+		intB = append(intB, collect(interleaved, "figure3", 1)...)
+		intA = append(intA, collect(interleaved, "table2", 1)...)
+	}
+	if fmt.Sprint(seqA) != fmt.Sprint(intA) || fmt.Sprint(seqB) != fmt.Sprint(intB) {
+		t.Fatalf("interleaving changed decisions:\nseqA %v\nintA %v\nseqB %v\nintB %v",
+			seqA, intA, seqB, intB)
+	}
+
+	replay := Wrap(okRunner, cfg)
+	if got := collect(replay, "table2", 40); fmt.Sprint(got) != fmt.Sprint(seqA) {
+		t.Fatalf("same seed did not replay: %v vs %v", got, seqA)
+	}
+	other := Wrap(okRunner, Config{Seed: 8, Rates: cfg.Rates})
+	if got := collect(other, "table2", 40); fmt.Sprint(got) == fmt.Sprint(seqA) {
+		t.Fatalf("different seed replayed identical 40-call sequence")
+	}
+}
+
+func TestRatesRoughlyHonoured(t *testing.T) {
+	r := Wrap(okRunner, Config{Seed: 3, Rates: Rates{Error: 0.5}})
+	outcomes := collect(r, "table2", 2000)
+	errs := 0
+	for _, o := range outcomes {
+		if o == "err" {
+			errs++
+		}
+	}
+	if errs < 850 || errs > 1150 {
+		t.Fatalf("error rate 0.5 over 2000 calls gave %d errors", errs)
+	}
+}
+
+func TestPerArtefactOverride(t *testing.T) {
+	r := Wrap(okRunner, Config{
+		Seed:        1,
+		Rates:       Rates{Error: 1},
+		PerArtefact: map[string]Rates{"table2": {}},
+	})
+	if _, err := r.Run(entry("table2")); err != nil {
+		t.Fatalf("override to zero rates still injected: %v", err)
+	}
+	if _, err := r.Run(entry("figure3")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("default rate not applied to non-overridden artefact: %v", err)
+	}
+}
+
+func TestCheckEntriesKeyedAsCheck(t *testing.T) {
+	r := Wrap(okRunner, Config{PerArtefact: map[string]Rates{"check": {Error: 1}}})
+	_, err := r.Run(experiments.PlanEntry{Check: true})
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("check entry not matched by per-artefact key: %v", err)
+	}
+}
+
+// TestConcurrentCallsRaceClean exercises the attempt counter under
+// parallel load for the race detector.
+func TestConcurrentCallsRaceClean(t *testing.T) {
+	r := Wrap(okRunner, Config{Seed: 5, Rates: Rates{Error: 0.5}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Run(entry("table2"))
+			}
+		}()
+	}
+	wg.Wait()
+	if st := r.Stats(); st.Calls != 800 {
+		t.Fatalf("calls = %d, want 800", st.Calls)
+	}
+}

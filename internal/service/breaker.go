@@ -1,0 +1,122 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCircuitOpen is returned without touching the pool when an
+// artefact's circuit breaker is open; handlers translate it into 503
+// Service Unavailable.
+var ErrCircuitOpen = errors.New("circuit open: artefact failing, retry later")
+
+// BreakerStats is a snapshot of the breaker's counters for /metricz.
+type BreakerStats struct {
+	Threshold int    `json:"threshold"` // 0 = disabled
+	Open      int    `json:"open"`      // artefacts currently open
+	Tripped   uint64 `json:"tripped"`   // times any artefact opened
+	FastFails uint64 `json:"fast_fails"`
+}
+
+// breaker is a per-artefact circuit breaker. Each artefact counts
+// consecutive driver failures (post-retry); at threshold the artefact
+// opens and requests fast-fail with ErrCircuitOpen instead of burning
+// pool workers on a run that keeps failing. After cooldown the next
+// request is let through as a half-open probe: success closes the
+// circuit, failure re-opens it for another cooldown. A threshold of 0
+// disables the breaker entirely.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	entries map[string]*breakerEntry
+
+	tripped   atomic.Uint64
+	fastFails atomic.Uint64
+}
+
+type breakerEntry struct {
+	fails     int       // consecutive failures
+	openUntil time.Time // zero = closed
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		entries:   make(map[string]*breakerEntry),
+	}
+}
+
+// Allow reports whether a run for this artefact may proceed. Past the
+// cooldown an open circuit admits callers again (half-open): their
+// outcome decides whether it closes or re-opens.
+func (b *breaker) Allow(artefact string) error {
+	if b.threshold <= 0 {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[artefact]
+	if e == nil || e.openUntil.IsZero() || !b.now().Before(e.openUntil) {
+		return nil
+	}
+	b.fastFails.Add(1)
+	return ErrCircuitOpen
+}
+
+// Success closes the artefact's circuit and resets its failure count.
+func (b *breaker) Success(artefact string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if e := b.entries[artefact]; e != nil {
+		e.fails = 0
+		e.openUntil = time.Time{}
+	}
+}
+
+// Failure records one post-retry driver failure; at threshold the
+// circuit opens for cooldown. A failing half-open probe lands here too
+// (fails is already at threshold) and re-opens for a fresh cooldown.
+func (b *breaker) Failure(artefact string) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[artefact]
+	if e == nil {
+		e = &breakerEntry{}
+		b.entries[artefact] = e
+	}
+	e.fails++
+	if e.fails >= b.threshold {
+		e.openUntil = b.now().Add(b.cooldown)
+		b.tripped.Add(1)
+	}
+}
+
+// Stats snapshots the counters.
+func (b *breaker) Stats() BreakerStats {
+	st := BreakerStats{
+		Threshold: b.threshold,
+		Tripped:   b.tripped.Load(),
+		FastFails: b.fastFails.Load(),
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, e := range b.entries {
+		if !e.openUntil.IsZero() && b.now().Before(e.openUntil) {
+			st.Open++
+		}
+	}
+	return st
+}

@@ -12,6 +12,7 @@ type CacheStats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
 	Bytes     int64  `json:"bytes"`
 	Evictions uint64 `json:"evictions"`
 }
@@ -69,6 +70,19 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	return el.Value.(*cacheEntry).body, true
 }
 
+// Peek returns the cached body without touching the hit/miss counters
+// or the LRU order. The singleflight re-check uses it: that lookup is
+// an internal consistency check for a request whose one Get already
+// counted, so counting it again would skew the /metricz hit rate.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		return el.Value.(*cacheEntry).body, true
+	}
+	return nil, false
+}
+
 // Put stores a body under a key, evicting the least recently used
 // entries beyond the bound. Storing an existing key is a no-op (bodies
 // are deterministic, so the stored value is already correct).
@@ -98,6 +112,7 @@ func (c *Cache) Stats() CacheStats {
 		Hits:      c.hits,
 		Misses:    c.misses,
 		Entries:   c.ll.Len(),
+		Capacity:  c.max,
 		Bytes:     c.bytes,
 		Evictions: c.evictions,
 	}

@@ -35,13 +35,19 @@ type Metrics struct {
 	Cache        CacheStats `json:"cache"`
 	Singleflight struct {
 		Shared uint64 `json:"shared"`
+		Panics uint64 `json:"panics"`
 	} `json:"singleflight"`
-	Pool     PoolStats `json:"pool"`
+	Pool     PoolStats    `json:"pool"`
+	Breaker  BreakerStats `json:"breaker"`
 	Requests struct {
-		Total  uint64 `json:"total"`
-		Errors uint64 `json:"errors"`
+		Total    uint64 `json:"total"`
+		Errors   uint64 `json:"errors"`
+		Shed     uint64 `json:"shed"`
+		Inflight int64  `json:"inflight"`
 	} `json:"requests"`
-	DriverRuns uint64 `json:"driver_runs"`
+	DriverRuns   uint64 `json:"driver_runs"`
+	Retries      uint64 `json:"retries"`
+	RunnerPanics uint64 `json:"runner_panics"`
 }
 
 // Snapshot collects the current counters (also used by tests).
@@ -49,10 +55,16 @@ func (s *Server) Snapshot() Metrics {
 	var m Metrics
 	m.Cache = s.cache.Stats()
 	m.Singleflight.Shared = s.flights.Shared()
+	m.Singleflight.Panics = s.flights.Panics()
 	m.Pool = s.pool.Stats()
+	m.Breaker = s.breaker.Stats()
 	m.Requests.Total = s.requests.Load()
 	m.Requests.Errors = s.errors.Load()
+	m.Requests.Shed = s.shed.Load()
+	m.Requests.Inflight = s.inflight.Load()
 	m.DriverRuns = s.runs.Load()
+	m.Retries = s.retries.Load()
+	m.RunnerPanics = s.panics.Load()
 	return m
 }
 
@@ -253,17 +265,24 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
-	defer cancel()
 	// Results stream in plan order via chunked transfer as they
 	// complete: RunJobs buffers each job and emits in slice order, and
 	// the flushing writer pushes every completed artefact to the client
 	// immediately. Batch entries use blocking admission — the batch
 	// itself was already accepted.
+	//
+	// Timeout semantics: each entry gets its own s.opts.Timeout,
+	// derived from the request context when its job starts — the budget
+	// covers queue wait plus run for that entry alone. A single shared
+	// deadline over the batch would 504 a long plan mid-stream even
+	// though every entry succeeds individually; client disconnect still
+	// cancels all entries via r.Context().
 	jobs := make([]experiments.Job, len(entries))
 	for i, e := range entries {
 		e := e
 		jobs[i] = experiments.Job{Name: e.JobName(), Run: func() (string, error) {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+			defer cancel()
 			body, _, err := s.result(ctx, e, true)
 			return string(body), err
 		}}

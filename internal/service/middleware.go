@@ -1,0 +1,86 @@
+package service
+
+import (
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Handler returns the root HTTP handler: request counting, load
+// shedding and structured per-request logging wrap the mux.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.serveShedding(rec, r)
+		if lg := s.opts.AccessLog; lg != nil {
+			cache := rec.Header().Get("X-Cache")
+			if cache == "" {
+				cache = "-"
+			}
+			lg.Printf("method=%s path=%s artefact=%s status=%d cache=%s bytes=%d dur=%s",
+				r.Method, r.URL.Path, artefactOf(r.URL.Path), rec.status, cache,
+				rec.bytes, time.Since(start).Round(time.Microsecond))
+		}
+	})
+}
+
+// serveShedding rejects work beyond the in-flight cap with 503 before
+// it reaches the mux — overload answers fast instead of queueing
+// everyone into timeouts. /healthz bypasses the cap so liveness probes
+// keep answering while the server sheds.
+func (s *Server) serveShedding(w http.ResponseWriter, r *http.Request) {
+	if max := s.opts.MaxInflight; max > 0 && r.URL.Path != "/healthz" {
+		if s.inflight.Add(1) > int64(max) {
+			s.inflight.Add(-1)
+			s.shed.Add(1)
+			s.errors.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded: in-flight request cap reached", http.StatusServiceUnavailable)
+			return
+		}
+		defer s.inflight.Add(-1)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// artefactOf extracts the artefact name from a request path for the
+// access log ("-" when the path has none).
+func artefactOf(path string) string {
+	if name, ok := strings.CutPrefix(path, "/v1/artefacts/"); ok && name != "" {
+		return name
+	}
+	return "-"
+}
+
+// statusRecorder captures the status code and body size for the access
+// log while passing flushes through, so streamed batch responses still
+// reach the client chunk by chunk.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	r.wrote = true
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -22,6 +22,7 @@ type PoolStats struct {
 	Active    int64  `json:"active"`
 	Completed uint64 `json:"completed"`
 	Rejected  uint64 `json:"rejected"`
+	Panics    uint64 `json:"panics"`
 }
 
 // Pool is a bounded worker pool: Workers goroutines drain a bounded
@@ -42,6 +43,7 @@ type Pool struct {
 	active    atomic.Int64
 	completed atomic.Uint64
 	rejected  atomic.Uint64
+	panics    atomic.Uint64
 }
 
 // NewPool starts workers goroutines over a queue of capacity queue.
@@ -63,14 +65,29 @@ func NewPool(workers, queue int) *Pool {
 		go func() {
 			defer p.wg.Done()
 			for f := range p.tasks {
-				p.active.Add(1)
-				f()
-				p.active.Add(-1)
-				p.completed.Add(1)
+				p.runTask(f)
 			}
 		}()
 	}
 	return p
+}
+
+// runTask is a panic-isolation boundary: a panicking task must not kill
+// its worker goroutine (N panics would silently shrink the pool to
+// zero) nor leave active incremented forever (phantom work in
+// /metricz), so the accounting runs in a defer that also absorbs the
+// panic. Tasks wanting the panic value convert it themselves (the
+// service's runner wrapper does); here it is only counted.
+func (p *Pool) runTask(f func()) {
+	p.active.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			p.panics.Add(1)
+		}
+		p.active.Add(-1)
+		p.completed.Add(1)
+	}()
+	f()
 }
 
 // TrySubmit enqueues f, failing fast with ErrQueueFull when the queue
@@ -127,5 +144,6 @@ func (p *Pool) Stats() PoolStats {
 		Active:    p.active.Load(),
 		Completed: p.completed.Load(),
 		Rejected:  p.rejected.Load(),
+		Panics:    p.panics.Load(),
 	}
 }

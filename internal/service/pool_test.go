@@ -58,6 +58,41 @@ func TestPoolSubmitHonoursContext(t *testing.T) {
 	close(block)
 }
 
+// TestPoolSurvivesPanickingTasks is the worker-death regression test:
+// a panicking task used to kill its worker goroutine permanently and
+// leave active incremented forever, so N panics silently shrank the
+// pool to zero while /metricz reported phantom active work.
+func TestPoolSurvivesPanickingTasks(t *testing.T) {
+	p := NewPool(2, 8)
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(context.Background(), func() { panic("task boom") }); err != nil {
+			t.Fatalf("submit panicking task %d: %v", i, err)
+		}
+	}
+	// The pool must still complete fresh work on its full complement of
+	// workers after every worker has absorbed panics.
+	var done atomic.Int64
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(context.Background(), func() { done.Add(1) }); err != nil {
+			t.Fatalf("submit after panics: %v", err)
+		}
+	}
+	p.Close() // hangs (and fails the test) if any worker died
+	if done.Load() != 4 {
+		t.Fatalf("completed %d of 4 post-panic tasks", done.Load())
+	}
+	st := p.Stats()
+	if st.Panics != 4 {
+		t.Errorf("panics = %d, want 4", st.Panics)
+	}
+	if st.Active != 0 {
+		t.Errorf("active = %d after drain, want 0 (no phantom work)", st.Active)
+	}
+	if st.Completed != 8 {
+		t.Errorf("completed = %d, want 8 (panicking tasks still count)", st.Completed)
+	}
+}
+
 func TestCacheLRUEviction(t *testing.T) {
 	c := NewCache(2)
 	c.Put("a", []byte("aaa"))

@@ -8,12 +8,23 @@
 // timeouts. Bodies are byte-identical to what cmd/tpbench prints for
 // the same config — both sides render through the artefact registry in
 // internal/experiments.
+//
+// The serving path is hardened against arbitrary runner failure: a
+// panicking or erroring driver run is converted to an error at the
+// runner boundary (with pool-worker and singleflight recovery as
+// further lines of defence), retried with exponential backoff and
+// jitter, and — if an artefact keeps failing — cut off by a
+// per-artefact circuit breaker so the pool is not burned on doomed
+// runs. No fault can leak a goroutine, wedge a singleflight key, or
+// shrink the pool.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
+	"math/rand"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -21,6 +32,11 @@ import (
 
 	"timeprotection/internal/experiments"
 )
+
+// ErrRunnerPanic marks a driver panic that was recovered and converted
+// to an error; handlers translate it into 500 like any other runner
+// failure, and the panicking key stays retryable.
+var ErrRunnerPanic = errors.New("runner panicked")
 
 // Options configures a Server. The zero value selects sane defaults.
 type Options struct {
@@ -32,12 +48,34 @@ type Options struct {
 	// CacheEntries bounds the result cache (default 1024).
 	CacheEntries int
 	// Timeout bounds how long one request waits for its artefact
-	// (default 5 minutes). The driver run itself is not cancelled — its
+	// (default 5 minutes). Batch requests apply it per entry, not over
+	// the whole batch. The driver run itself is not cancelled — its
 	// result still lands in the cache for the retry.
 	Timeout time.Duration
+	// Retries is how many times a failed driver run is re-attempted on
+	// its worker before the failure is reported (default 0). Failed
+	// security checks (experiments.ErrCheckFailed) are never retried:
+	// a check verdict is a correct, deterministic result.
+	Retries int
+	// RetryBase is the first backoff delay; attempt n waits
+	// RetryBase*2^n with jitter, capped at 5s (default 50ms).
+	RetryBase time.Duration
+	// BreakerThreshold opens an artefact's circuit breaker after that
+	// many consecutive post-retry failures (default 0 = disabled).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit fast-fails before
+	// admitting a half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// MaxInflight sheds load with 503 once that many requests are in
+	// flight (default 0 = unlimited). /healthz is exempt so liveness
+	// probes still answer under overload.
+	MaxInflight int
+	// AccessLog, when non-nil, receives one structured line per request
+	// (method, path, artefact, status, cache disposition, latency).
+	AccessLog *log.Logger
 	// Runner computes one plan entry's output. Nil selects the real
-	// drivers (PlanEntry.Output); tests inject counting or blocking
-	// runners.
+	// drivers (PlanEntry.Output); tests inject counting, blocking or
+	// fault-injecting runners.
 	Runner func(experiments.PlanEntry) (string, error)
 }
 
@@ -54,44 +92,58 @@ func (o Options) withDefaults() Options {
 	if o.Timeout <= 0 {
 		o.Timeout = 5 * time.Minute
 	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 50 * time.Millisecond
+	}
+	if o.BreakerThreshold < 0 {
+		o.BreakerThreshold = 0
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 5 * time.Second
+	}
+	if o.MaxInflight < 0 {
+		o.MaxInflight = 0
+	}
 	if o.Runner == nil {
 		o.Runner = func(e experiments.PlanEntry) (string, error) { return e.Output() }
 	}
 	return o
 }
 
-// Server owns the cache, singleflight group and worker pool behind the
-// HTTP API.
+// Server owns the cache, singleflight group, worker pool and circuit
+// breaker behind the HTTP API.
 type Server struct {
 	opts    Options
 	cache   *Cache
 	flights flightGroup
 	pool    *Pool
+	breaker *breaker
 	mux     *http.ServeMux
 
 	requests atomic.Uint64
 	errors   atomic.Uint64
-	runs     atomic.Uint64 // actual driver invocations
+	shed     atomic.Uint64
+	inflight atomic.Int64
+	runs     atomic.Uint64 // actual driver invocations (retries included)
+	retries  atomic.Uint64 // re-attempts after a failed run
+	panics   atomic.Uint64 // runner panics converted to errors
 }
 
-// New assembles a Server. Call Close to drain the worker pool.
+// New assembles a Server. Every component is built from the defaulted
+// options — nothing reads the raw opts, so a field's default lives in
+// exactly one place (withDefaults). Call Close to drain the worker
+// pool.
 func New(opts Options) *Server {
-	s := &Server{
-		opts:  opts.withDefaults(),
-		cache: NewCache(opts.CacheEntries),
-	}
+	s := &Server{opts: opts.withDefaults()}
+	s.cache = NewCache(s.opts.CacheEntries)
 	s.pool = NewPool(s.opts.Parallel, s.opts.Queue)
+	s.breaker = newBreaker(s.opts.BreakerThreshold, s.opts.BreakerCooldown)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
-}
-
-// Handler returns the root HTTP handler.
-func (s *Server) Handler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Add(1)
-		s.mux.ServeHTTP(w, r)
-	})
 }
 
 // Close drains the worker pool (graceful SIGTERM shutdown: the HTTP
@@ -116,19 +168,92 @@ func entryKey(e experiments.PlanEntry) string {
 		name, c.Platform.Name, c.Samples, c.SplashBlocks, c.Seed, c.Table8Slices, c.Metrics)
 }
 
-// result serves one plan entry through cache, singleflight and the
-// worker pool. block selects blocking queue admission (batch runs that
-// were already admitted) over fail-fast 429 backpressure (interactive
-// requests). The returned bool reports a direct cache hit.
+// artefactName is the circuit-breaker key for a plan entry: faults are
+// tracked per artefact, not per config, since a broken driver breaks
+// every config of its artefact.
+func artefactName(e experiments.PlanEntry) string {
+	if e.Check {
+		return "check"
+	}
+	return e.Artefact.Name
+}
+
+// runSafely invokes the runner with panic isolation: a panicking driver
+// is converted to an ErrRunnerPanic-wrapped error carrying the panic
+// value, so callers retry it like any other failure.
+func (s *Server) runSafely(e experiments.PlanEntry) (out string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			err = fmt.Errorf("%w: %v", ErrRunnerPanic, r)
+		}
+	}()
+	return s.opts.Runner(e)
+}
+
+// backoff returns the wait before re-attempt n (0-based): exponential
+// in RetryBase, capped at 5s, with "equal jitter" (half fixed, half
+// uniform random) so retriers for different keys decorrelate.
+func (s *Server) backoff(attempt int) time.Duration {
+	const max = 5 * time.Second
+	d := s.opts.RetryBase
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// runWithRetry is the compute task the pool executes: run the driver,
+// retrying failed attempts with backoff, then settle the breaker and
+// cache. It owns a worker for its whole retry budget — queued work
+// behind it waits, which is the intended backpressure.
+func (s *Server) runWithRetry(e experiments.PlanEntry, key, art string) ([]byte, error) {
+	var out string
+	var err error
+	for attempt := 0; ; attempt++ {
+		s.runs.Add(1)
+		out, err = s.runSafely(e)
+		if err == nil || attempt >= s.opts.Retries || errors.Is(err, experiments.ErrCheckFailed) {
+			break
+		}
+		s.retries.Add(1)
+		time.Sleep(s.backoff(attempt))
+	}
+	body := []byte(out)
+	switch {
+	case err == nil:
+		s.cache.Put(key, body)
+		s.breaker.Success(art)
+	case errors.Is(err, experiments.ErrCheckFailed):
+		// A failed check is a correct run reporting its verdict — not a
+		// driver fault, so it neither trips nor closes the breaker.
+	default:
+		s.breaker.Failure(art)
+	}
+	return body, err
+}
+
+// result serves one plan entry through cache, breaker, singleflight and
+// the worker pool. block selects blocking queue admission (batch runs
+// that were already admitted) over fail-fast 429 backpressure
+// (interactive requests). The returned bool reports a direct cache hit.
 func (s *Server) result(ctx context.Context, e experiments.PlanEntry, block bool) ([]byte, bool, error) {
 	key := ContentKey(entryKey(e))
 	if body, ok := s.cache.Get(key); ok {
 		return body, true, nil
 	}
+	art := artefactName(e)
+	if err := s.breaker.Allow(art); err != nil {
+		return nil, false, err
+	}
 	body, err, _ := s.flights.Do(key, func() ([]byte, error) {
 		// Re-check under the flight: a previous flight may have filled
-		// the cache between our miss and acquiring the flight.
-		if body, ok := s.cache.Get(key); ok {
+		// the cache between our miss and acquiring the flight. Peek, not
+		// Get — this request's one counted lookup already happened.
+		if body, ok := s.cache.Peek(key); ok {
 			return body, nil
 		}
 		type outcome struct {
@@ -137,12 +262,7 @@ func (s *Server) result(ctx context.Context, e experiments.PlanEntry, block bool
 		}
 		done := make(chan outcome, 1)
 		task := func() {
-			s.runs.Add(1)
-			out, err := s.opts.Runner(e)
-			body := []byte(out)
-			if err == nil {
-				s.cache.Put(key, body)
-			}
+			body, err := s.runWithRetry(e, key, art)
 			done <- outcome{body, err}
 		}
 		var submitErr error
@@ -171,7 +291,7 @@ func httpStatusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrPoolClosed):
+	case errors.Is(err, ErrCircuitOpen), errors.Is(err, ErrPoolClosed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout

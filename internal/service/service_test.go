@@ -165,7 +165,7 @@ func TestSingleflightCollapsesConcurrentRequests(t *testing.T) {
 		<-release
 		return "slow body\n", nil
 	}
-	_, ts := newTestServer(t, Options{Parallel: 4, Runner: runner})
+	s, ts := newTestServer(t, Options{Parallel: 4, Runner: runner})
 	url := ts.URL + "/v1/artefacts/figure3?samples=30"
 
 	const n = 8
@@ -192,6 +192,21 @@ func TestSingleflightCollapsesConcurrentRequests(t *testing.T) {
 		if codes[i] != 200 || bodies[i] != "slow body\n" {
 			t.Errorf("request %d: %d %q", i, codes[i], bodies[i])
 		}
+	}
+	// Exact accounting: each request costs exactly one counted cache
+	// lookup — the re-check inside the flight is an uncounted Peek. The
+	// old Get-based re-check double-counted a miss (or minted a spurious
+	// hit) for the flight leader, skewing the /metricz hit rate.
+	m := s.Snapshot()
+	if got := m.Cache.Hits + m.Cache.Misses; got != n {
+		t.Errorf("hits+misses = %d+%d = %d, want exactly %d (one counted lookup per request)",
+			m.Cache.Hits, m.Cache.Misses, got, n)
+	}
+	if m.Cache.Misses < 1 {
+		t.Errorf("misses = %d, want at least the flight leader's miss", m.Cache.Misses)
+	}
+	if m.DriverRuns != 1 {
+		t.Errorf("driver_runs = %d, want 1", m.DriverRuns)
 	}
 }
 

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
@@ -14,6 +15,7 @@ type flightGroup struct {
 	mu     sync.Mutex
 	flight map[string]*flightCall
 	shared atomic.Uint64 // calls served by someone else's run
+	panics atomic.Uint64 // fn panics converted to errors
 }
 
 type flightCall struct {
@@ -24,7 +26,14 @@ type flightCall struct {
 
 // Do runs fn once per key among concurrent callers. The boolean reports
 // whether this caller shared another caller's result.
-func (g *flightGroup) Do(key string, fn func() ([]byte, error)) ([]byte, error, bool) {
+//
+// Do is a panic-isolation boundary: cleanup (deleting the flight entry
+// and closing done) runs in a defer, so even a panicking fn leaves the
+// key retryable and unblocks every waiter — the panic is converted to
+// an ErrRunnerPanic-wrapped error shared with all of them. Without
+// this, one panic would wedge the key forever: every later request for
+// it would block on a done channel nobody will ever close.
+func (g *flightGroup) Do(key string, fn func() ([]byte, error)) (body []byte, err error, sharedCall bool) {
 	g.mu.Lock()
 	if g.flight == nil {
 		g.flight = make(map[string]*flightCall)
@@ -39,15 +48,24 @@ func (g *flightGroup) Do(key string, fn func() ([]byte, error)) ([]byte, error, 
 	g.flight[key] = c
 	g.mu.Unlock()
 
+	defer func() {
+		if r := recover(); r != nil {
+			g.panics.Add(1)
+			c.body, c.err = nil, fmt.Errorf("%w: %v", ErrRunnerPanic, r)
+		}
+		g.mu.Lock()
+		delete(g.flight, key)
+		g.mu.Unlock()
+		close(c.done)
+		body, err = c.body, c.err
+	}()
 	c.body, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.flight, key)
-	g.mu.Unlock()
-	close(c.done)
 	return c.body, c.err, false
 }
 
 // Shared returns the number of calls that were answered by another
 // caller's in-flight run.
 func (g *flightGroup) Shared() uint64 { return g.shared.Load() }
+
+// Panics returns the number of fn panics converted to errors.
+func (g *flightGroup) Panics() uint64 { return g.panics.Load() }

@@ -1,0 +1,78 @@
+package service
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestSingleflightPanicLeavesKeyRetryable is the wedged-key regression
+// test: Do used to skip its cleanup when fn panicked, so the flight
+// entry stayed in the map with a done channel nobody would ever close —
+// every later request for that key blocked forever. Now cleanup runs in
+// a defer and the panic is converted to an ErrRunnerPanic error.
+func TestSingleflightPanicLeavesKeyRetryable(t *testing.T) {
+	var g flightGroup
+
+	entered := make(chan struct{})
+	proceed := make(chan struct{})
+	leaderErr := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do("k", func() ([]byte, error) {
+			close(entered)
+			<-proceed
+			panic("boom")
+		})
+		leaderErr <- err
+	}()
+	<-entered
+
+	// Join the in-flight call as a waiter, then let the leader panic.
+	// (If this goroutine loses the race and arrives after cleanup it
+	// runs fn itself, which is equally correct — the key is live.)
+	waiter := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do("k", func() ([]byte, error) { return []byte("fresh"), nil })
+		waiter <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(proceed)
+
+	if err := <-leaderErr; !errors.Is(err, ErrRunnerPanic) {
+		t.Fatalf("leader error = %v, want ErrRunnerPanic", err)
+	}
+	select {
+	case err := <-waiter:
+		if err != nil && !errors.Is(err, ErrRunnerPanic) {
+			t.Fatalf("waiter error = %v, want nil or the shared ErrRunnerPanic", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter still blocked after the panicking flight — key wedged")
+	}
+
+	// The key must be retryable: a later call runs fn again and
+	// succeeds instead of blocking on the dead flight.
+	done := make(chan struct{})
+	go func() {
+		body, err, _ := g.Do("k", func() ([]byte, error) { return []byte("retry ok"), nil })
+		if err != nil || string(body) != "retry ok" {
+			t.Errorf("retry after panic = %q, %v", body, err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry after panicking flight blocked — key wedged")
+	}
+
+	g.mu.Lock()
+	leaked := len(g.flight)
+	g.mu.Unlock()
+	if leaked != 0 {
+		t.Errorf("%d flight entries leaked", leaked)
+	}
+	if g.Panics() != 1 {
+		t.Errorf("panics counter = %d, want 1", g.Panics())
+	}
+}
