@@ -31,12 +31,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"os"
 	"runtime"
 	"strings"
 
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/hw"
+	"timeprotection/internal/store"
 )
 
 func main() {
@@ -55,8 +57,14 @@ func main() {
 		seed       = flag.Int64("seed", 42, "deterministic seed")
 		metrics    = flag.Bool("metrics", false, "append a per-component cycle-accounting report to each artefact")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent experiment workers (output is identical for any value)")
+		storeDir   = flag.String("store", "", "durable result store directory; completed artefacts are persisted as they finish")
+		resume     = flag.Bool("resume", false, "skip artefacts already completed in -store (a killed run resumes with byte-identical output)")
 	)
 	flag.Parse()
+	if *resume && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "tpbench: -resume requires -store DIR")
+		os.Exit(2)
+	}
 
 	if *list {
 		for _, a := range experiments.Registry() {
@@ -94,7 +102,7 @@ func main() {
 		plats = []hw.Platform{p}
 	}
 
-	jobs := experiments.Plan(experiments.PlanSpec{
+	entries := experiments.Expand(experiments.PlanSpec{
 		Platforms:  plats,
 		Base:       experiments.Config{Samples: *samples, SplashBlocks: *blocks, Seed: *seed, Metrics: *metrics},
 		All:        *all,
@@ -105,11 +113,36 @@ func main() {
 		Extensions: *extensions,
 		Check:      *check,
 	})
-	if len(jobs) == 0 {
+	if len(entries) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := experiments.RunJobs(jobs, *parallel, os.Stdout); err != nil {
+
+	// The durable store persists each completed artefact as it finishes
+	// (atomic write + checksum + journal); with -resume, entries whose
+	// results are already on disk are served from the store instead of
+	// re-running — a killed -all run picks up where it died and still
+	// assembles the plan in order, so the final output is byte-identical
+	// to an uninterrupted run.
+	var rs experiments.ResultStore
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Options{
+			Log: log.New(os.Stderr, "tpbench: ", 0),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
+			os.Exit(2)
+		}
+		defer st.Close()
+		if *resume {
+			stats := st.Stats()
+			fmt.Fprintf(os.Stderr, "tpbench: resuming from %s (%d completed artefacts recovered)\n",
+				*storeDir, stats.Recovered)
+		}
+		rs = st
+	}
+
+	if err := experiments.RunJobs(experiments.PlanJobs(entries, rs, *resume), *parallel, os.Stdout); err != nil {
 		if !errors.Is(err, experiments.ErrCheckFailed) {
 			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
 		}

@@ -8,6 +8,7 @@
 //
 //	tpserved                              # listen on :8080
 //	tpserved -addr :9000 -parallel 8      # bounded worker pool of 8
+//	tpserved -store /var/lib/tpserved     # durable tier: restarts serve from disk
 //	tpserved -retries 3 -breaker-threshold 5 -log   # hardened serving
 //	tpserved -fault-rate 0.3 -fault-panic-rate 0.2 -retries 8   # chaos drill
 //
@@ -21,8 +22,18 @@
 //
 // Artefact bodies are byte-identical to cmd/tpbench's output for the
 // same config. SIGINT/SIGTERM drain gracefully: the listener closes,
-// in-flight requests and queued driver runs finish, then the process
-// exits.
+// in-flight requests and queued driver runs finish — including their
+// write-behind store flushes — then the process exits.
+//
+// With -store DIR the in-memory LRU becomes a read-through /
+// write-behind fast tier over a crash-safe on-disk store
+// (internal/store): every computed artefact is atomically persisted
+// and checksummed, a restart serves previously computed artefacts from
+// disk (X-Cache: disk) without re-running drivers, corrupt or torn
+// entries are quarantined and transparently recomputed, and /metricz
+// reports store hit/corrupt/quarantine/GC counters. The same directory
+// is shared with tpbench -store: both front-ends address results by
+// the same canonical content key.
 //
 // Resilience: failed driver runs are retried with exponential backoff
 // (-retries, -retry-base), repeatedly failing artefacts are cut off by
@@ -50,6 +61,7 @@ import (
 
 	"timeprotection/internal/fault"
 	"timeprotection/internal/service"
+	"timeprotection/internal/store"
 )
 
 func main() {
@@ -60,6 +72,9 @@ func main() {
 		cacheMax = flag.Int("cache", 1024, "maximum cached artefact bodies")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "per-entry wait bound (each batch entry gets its own)")
 		grace    = flag.Duration("grace", 30*time.Second, "shutdown drain bound after SIGTERM")
+
+		storeDir = flag.String("store", "", "durable result store directory; restarts serve previously computed artefacts from disk (X-Cache: disk)")
+		storeMax = flag.Int64("store-max-bytes", 0, "store size cap; LRU entries beyond it are garbage-collected (0 = unbounded)")
 
 		retries     = flag.Int("retries", 0, "re-attempts per failed driver run (exponential backoff)")
 		retryBase   = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff; doubles per attempt, jittered, capped at 5s")
@@ -100,6 +115,21 @@ func main() {
 	if *logReqs {
 		opts.AccessLog = log.New(os.Stderr, "tpserved: ", log.LstdFlags|log.Lmicroseconds)
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		st, err = store.Open(*storeDir, store.Options{
+			MaxBytes: *storeMax,
+			Log:      log.New(os.Stderr, "tpserved: ", log.LstdFlags),
+		})
+		if err != nil {
+			log.Fatalf("tpserved: %v", err)
+		}
+		opts.Store = st
+		stats := st.Stats()
+		log.Printf("tpserved: durable store %s (%d entries recovered, %d quarantined, %d journal records torn)",
+			*storeDir, stats.Recovered, stats.Quarantined, stats.TornRecords)
+	}
 	if *faultRate > 0 || *faultPanic > 0 || *faultLatency > 0 {
 		injector := fault.Wrap(nil, fault.Config{
 			Seed:  *faultSeed,
@@ -134,6 +164,11 @@ func main() {
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("tpserved: shutdown: %v", err)
 	}
-	svc.Close()
+	svc.Close() // waits for in-flight runs and their write-behind store flushes
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("tpserved: store close: %v", err)
+		}
+	}
 	log.Printf("tpserved: drained, exiting")
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 
@@ -48,6 +50,34 @@ func (e PlanEntry) JobName() string {
 		return "check/" + e.Config.Platform.Name
 	}
 	return e.Artefact.JobName(e.Config.Platform)
+}
+
+// CanonicalKey renders the canonical identity of a plan entry — the
+// string the content-addressed caches hash. Tracer is excluded (runtime
+// attachment); every other Config field changes the bytes produced.
+// Both tpserved's result cache and the durable store in internal/store
+// key on this, so a store directory filled by one front-end answers the
+// other.
+func (e PlanEntry) CanonicalKey() string {
+	if !e.Check && e.Artefact.Global {
+		// Platform-independent artefacts render the same bytes for any
+		// config.
+		return e.Artefact.Name + "|global"
+	}
+	name := e.Artefact.Name
+	if e.Check {
+		name = "check"
+	}
+	c := e.Config.Canonical()
+	return fmt.Sprintf("%s|%s|samples=%d|blocks=%d|seed=%d|t8=%d|metrics=%t",
+		name, c.Platform.Name, c.Samples, c.SplashBlocks, c.Seed, c.Table8Slices, c.Metrics)
+}
+
+// CacheKey is the content address of the entry: the SHA-256 of its
+// CanonicalKey in hex. It doubles as the store's object file name.
+func (e PlanEntry) CacheKey() string {
+	sum := sha256.Sum256([]byte(e.CanonicalKey()))
+	return hex.EncodeToString(sum[:])
 }
 
 // Output computes the entry's rendered bytes — the exact bytes tpbench

@@ -14,6 +14,49 @@ type Job struct {
 	Run  func() (string, error)
 }
 
+// ResultStore is the durable result tier PlanJobs consults: Get returns
+// a previously completed entry's bytes (or false), Put persists a
+// completed entry. internal/store implements it; tests substitute maps.
+type ResultStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, body []byte) error
+}
+
+// PlanJobs adapts plan entries for RunJobs, optionally backed by a
+// durable store. With a store, every successfully completed entry is
+// persisted under its CacheKey as it finishes; with resume also set,
+// the runner consults the store before dispatching each entry and skips
+// the driver run when the result is already on disk — a killed -all run
+// picks up where it died, and plan-order assembly in RunJobs keeps the
+// final output byte-identical to an uninterrupted run. Failed entries
+// (including failed -check verdicts) are never stored, so they re-run
+// on resume; store write errors degrade to recompute-next-time and are
+// counted by the store, never failing the job.
+func PlanJobs(entries []PlanEntry, st ResultStore, resume bool) []Job {
+	jobs := make([]Job, len(entries))
+	for i, e := range entries {
+		e := e
+		run := e.Output
+		if st != nil {
+			run = func() (string, error) {
+				key := e.CacheKey()
+				if resume {
+					if body, ok := st.Get(key); ok {
+						return string(body), nil
+					}
+				}
+				out, err := e.Output()
+				if err == nil {
+					_ = st.Put(key, []byte(out))
+				}
+				return out, err
+			}
+		}
+		jobs[i] = Job{Name: e.JobName(), Run: run}
+	}
+	return jobs
+}
+
 // RunJobs executes jobs on up to parallel workers and writes each job's
 // output to w in slice order, regardless of completion order — the
 // stream is byte-identical for every worker count. Every experiment

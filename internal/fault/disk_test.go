@@ -1,0 +1,79 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDiskDecisionsDeterministic: two injectors with the same seed make
+// identical per-operation decisions; different seeds diverge.
+func TestDiskDecisionsDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	outcomes := func(seed int64) []bool {
+		d := NewDisk(seed, DiskRates{WriteError: 0.3, ShortWrite: 0.2})
+		var outs []bool
+		for i := 0; i < 64; i++ {
+			err := d.WriteFile(filepath.Join(dir, "probe"), []byte("data"))
+			outs = append(outs, err == nil)
+		}
+		return outs
+	}
+	a, b, c := outcomes(11), outcomes(11), outcomes(12)
+	same := true
+	diverged := false
+	for i := range a {
+		same = same && a[i] == b[i]
+		diverged = diverged || a[i] != c[i]
+	}
+	if !same {
+		t.Error("same seed produced different write decisions")
+	}
+	if !diverged {
+		t.Error("different seeds produced identical decision streams (64 ops)")
+	}
+}
+
+// TestDiskFaultShapes pins each fault's on-disk effect: write errors
+// leave nothing, short writes land a torn prefix, orphaning renames
+// complete the rename before reporting failure.
+func TestDiskFaultShapes(t *testing.T) {
+	dir := t.TempDir()
+	data := []byte("0123456789")
+
+	werr := NewDisk(1, DiskRates{WriteError: 1})
+	p := filepath.Join(dir, "enospc")
+	if err := werr.WriteFile(p, data); !errors.Is(err, ErrInjected) {
+		t.Fatalf("WriteFile = %v, want injected error", err)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Error("ENOSPC-style fault left a file")
+	}
+
+	short := NewDisk(1, DiskRates{ShortWrite: 1})
+	p = filepath.Join(dir, "torn")
+	if err := short.WriteFile(p, data); !errors.Is(err, ErrInjected) {
+		t.Fatalf("WriteFile = %v, want injected error", err)
+	}
+	if got, err := os.ReadFile(p); err != nil || len(got) != len(data)/2 {
+		t.Errorf("short write left %q (%v), want a %d-byte torn prefix", got, err, len(data)/2)
+	}
+
+	orphan := NewDisk(1, DiskRates{RenameOrphan: 1})
+	src, dst := filepath.Join(dir, "src"), filepath.Join(dir, "dst")
+	if err := os.WriteFile(src, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := orphan.Rename(src, dst); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Rename = %v, want injected error", err)
+	}
+	if _, err := os.Stat(dst); err != nil {
+		t.Error("orphaning rename did not complete the rename")
+	}
+
+	st := orphan.Stats()
+	if st.Renames != 1 || st.Orphans != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}

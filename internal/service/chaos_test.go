@@ -119,6 +119,19 @@ func TestChaosMixedLoadWithFaultInjection(t *testing.T) {
 	if got, want := m.Cache.Hits+m.Cache.Misses, artefactRequests.Load(); got != want {
 		t.Errorf("hits+misses = %d, want exactly %d artefact requests", got, want)
 	}
+	// The one-mutex disposition ledger balances exactly even under
+	// chaos: every artefact request has exactly one terminal
+	// disposition, and none of them may be an error here.
+	a := m.Artefacts
+	if a.Requests != artefactRequests.Load() {
+		t.Errorf("ledger requests = %d, want %d", a.Requests, artefactRequests.Load())
+	}
+	if a.Hits+a.Disk+a.Misses+a.Errors != a.Requests {
+		t.Errorf("ledger does not balance: %+v", a)
+	}
+	if a.Errors != 0 || a.Disk != 0 {
+		t.Errorf("ledger = %+v, want no errors and no disk tier in this configuration", a)
+	}
 
 	// Eventual convergence: after one settling pass (any config the
 	// random mix skipped gets its clean run here), every config serves

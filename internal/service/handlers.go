@@ -10,6 +10,7 @@ import (
 
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/hw"
+	"timeprotection/internal/store"
 )
 
 func (s *Server) routes() {
@@ -30,9 +31,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	io.WriteString(w, "ok\n")
 }
 
-// Metrics is the /metricz document.
+// Metrics is the /metricz document. Artefacts is captured atomically
+// (one mutex guards both its increments and its snapshot), so its
+// internal invariant hits+disk+misses+errors == requests holds exactly;
+// Store is present only when a durable store is configured and is
+// itself a single-lock-consistent snapshot.
 type Metrics struct {
-	Cache        CacheStats `json:"cache"`
+	Cache        CacheStats    `json:"cache"`
+	Store        *store.Stats  `json:"store,omitempty"`
+	Artefacts    ArtefactStats `json:"artefacts"`
 	Singleflight struct {
 		Shared uint64 `json:"shared"`
 		Panics uint64 `json:"panics"`
@@ -54,6 +61,11 @@ type Metrics struct {
 func (s *Server) Snapshot() Metrics {
 	var m Metrics
 	m.Cache = s.cache.Stats()
+	if st := s.opts.Store; st != nil {
+		stats := st.Stats()
+		m.Store = &stats
+	}
+	m.Artefacts = s.disp.snapshot()
 	m.Singleflight.Shared = s.flights.Shared()
 	m.Singleflight.Panics = s.flights.Panics()
 	m.Pool = s.pool.Stats()
@@ -183,17 +195,13 @@ func (s *Server) handleArtefact(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
 	defer cancel()
-	body, hit, err := s.result(ctx, entry, false)
+	body, src, err := s.result(ctx, entry, false)
 	if err != nil {
 		s.fail(w, httpStatusFor(err), "%s: %v", entry.JobName(), err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if hit {
-		w.Header().Set("X-Cache", "hit")
-	} else {
-		w.Header().Set("X-Cache", "miss")
-	}
+	w.Header().Set("X-Cache", src) // hit | disk | miss
 	w.Write(body)
 }
 

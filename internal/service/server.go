@@ -27,10 +27,12 @@ import (
 	"math/rand"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"timeprotection/internal/experiments"
+	"timeprotection/internal/store"
 )
 
 // ErrRunnerPanic marks a driver panic that was recovered and converted
@@ -73,6 +75,15 @@ type Options struct {
 	// AccessLog, when non-nil, receives one structured line per request
 	// (method, path, artefact, status, cache disposition, latency).
 	AccessLog *log.Logger
+	// Store, when non-nil, is the durable tier under the in-memory
+	// cache (tpserved -store): the LRU becomes a read-through /
+	// write-behind fast tier over it. Memory misses consult the store
+	// (X-Cache: disk) before computing, and computed results are
+	// flushed to disk in the background — a restart then serves
+	// previously computed artefacts without recompute. The caller owns
+	// the store's lifecycle; close it after Server.Close so the drain's
+	// write-behind flushes land.
+	Store *store.Store
 	// Runner computes one plan entry's output. Nil selects the real
 	// drivers (PlanEntry.Output); tests inject counting, blocking or
 	// fault-injecting runners.
@@ -113,6 +124,13 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Cache-source values result reports and X-Cache carries.
+const (
+	srcHit  = "hit"  // served from the in-memory cache
+	srcDisk = "disk" // served from the durable store
+	srcMiss = "miss" // computed by a driver run
+)
+
 // Server owns the cache, singleflight group, worker pool and circuit
 // breaker behind the HTTP API.
 type Server struct {
@@ -123,6 +141,18 @@ type Server struct {
 	breaker *breaker
 	mux     *http.ServeMux
 
+	// fills tracks in-flight write-behind store flushes (and nothing
+	// else): Close waits on it after draining the pool, so a SIGTERM
+	// arriving between a computed result and its disk flush cannot lose
+	// the bytes. Background cache fills themselves — driver runs whose
+	// waiter timed out — run on pool workers and are drained by
+	// pool.Close; this group covers the store writes those fills spawn.
+	fills sync.WaitGroup
+
+	// disp is the consistent artefact-request disposition ledger; see
+	// dispositions.
+	disp dispositions
+
 	requests atomic.Uint64
 	errors   atomic.Uint64
 	shed     atomic.Uint64
@@ -130,6 +160,49 @@ type Server struct {
 	runs     atomic.Uint64 // actual driver invocations (retries included)
 	retries  atomic.Uint64 // re-attempts after a failed run
 	panics   atomic.Uint64 // runner panics converted to errors
+}
+
+// ArtefactStats is the /metricz view of terminal artefact-request
+// dispositions. Because the whole struct is recorded and snapshotted
+// under one mutex, Hits+Disk+Misses+Errors == Requests holds exactly in
+// every snapshot — chaos tests assert it without flake.
+type ArtefactStats struct {
+	Requests uint64 `json:"requests"` // completed artefact requests
+	Hits     uint64 `json:"hits"`     // served from memory
+	Disk     uint64 `json:"disk"`     // served from the durable store
+	Misses   uint64 `json:"misses"`   // computed by a driver run
+	Errors   uint64 `json:"errors"`   // terminated with an error
+}
+
+// dispositions counts terminal artefact-request outcomes under a single
+// mutex. The individual atomics elsewhere in Server are each
+// internally consistent but mutually torn when read one by one;
+// invariants that span counters need this one-lock ledger.
+type dispositions struct {
+	mu sync.Mutex
+	s  ArtefactStats
+}
+
+func (d *dispositions) record(src string, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.s.Requests++
+	switch {
+	case err != nil:
+		d.s.Errors++
+	case src == srcHit:
+		d.s.Hits++
+	case src == srcDisk:
+		d.s.Disk++
+	default:
+		d.s.Misses++
+	}
+}
+
+func (d *dispositions) snapshot() ArtefactStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.s
 }
 
 // New assembles a Server. Every component is built from the defaulted
@@ -146,27 +219,23 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Close drains the worker pool (graceful SIGTERM shutdown: the HTTP
-// listener stops first, then in-flight computes finish here).
-func (s *Server) Close() { s.pool.Close() }
-
-// entryKey renders the canonical identity of a plan entry — the string
-// the content-addressed cache hashes. Tracer is excluded (runtime
-// attachment); every other Config field changes the bytes produced.
-func entryKey(e experiments.PlanEntry) string {
-	if !e.Check && e.Artefact.Global {
-		// Platform-independent artefacts render the same bytes for any
-		// config.
-		return e.Artefact.Name + "|global"
-	}
-	name := e.Artefact.Name
-	if e.Check {
-		name = "check"
-	}
-	c := e.Config.Canonical()
-	return fmt.Sprintf("%s|%s|samples=%d|blocks=%d|seed=%d|t8=%d|metrics=%t",
-		name, c.Platform.Name, c.Samples, c.SplashBlocks, c.Seed, c.Table8Slices, c.Metrics)
+// Close drains the worker pool, then waits for write-behind store
+// flushes (graceful SIGTERM shutdown: the HTTP listener stops first,
+// in-flight computes — including background fills whose client timed
+// out — finish on the pool, and every computed result's disk flush
+// lands before Close returns). The order matters: flush goroutines are
+// spawned from pool tasks, so the pool drain happens-before the last
+// fills.Add, making the Wait race-free and complete.
+func (s *Server) Close() {
+	s.pool.Close()
+	s.fills.Wait()
 }
+
+// entryKey is the canonical identity of a plan entry — the string the
+// content-addressed cache hashes. It lives on PlanEntry so tpbench's
+// durable store and this cache share one key space: a store directory
+// filled by either front-end answers the other.
+func entryKey(e experiments.PlanEntry) string { return e.CanonicalKey() }
 
 // artefactName is the circuit-breaker key for a plan entry: faults are
 // tracked per artefact, not per config, since a broken driver breaks
@@ -226,6 +295,7 @@ func (s *Server) runWithRetry(e experiments.PlanEntry, key, art string) ([]byte,
 	switch {
 	case err == nil:
 		s.cache.Put(key, body)
+		s.flushBehind(key, body)
 		s.breaker.Success(art)
 	case errors.Is(err, experiments.ErrCheckFailed):
 		// A failed check is a correct run reporting its verdict — not a
@@ -236,18 +306,52 @@ func (s *Server) runWithRetry(e experiments.PlanEntry, key, art string) ([]byte,
 	return body, err
 }
 
-// result serves one plan entry through cache, breaker, singleflight and
-// the worker pool. block selects blocking queue admission (batch runs
-// that were already admitted) over fail-fast 429 backpressure
-// (interactive requests). The returned bool reports a direct cache hit.
-func (s *Server) result(ctx context.Context, e experiments.PlanEntry, block bool) ([]byte, bool, error) {
+// flushBehind persists a computed body to the durable store without
+// blocking the response (write-behind). The flush is tracked by the
+// fills waitgroup so the shutdown drain waits for it; a store write
+// error degrades to recompute-after-restart and is counted by the
+// store's own stats.
+func (s *Server) flushBehind(key string, body []byte) {
+	st := s.opts.Store
+	if st == nil {
+		return
+	}
+	s.fills.Add(1)
+	go func() {
+		defer s.fills.Done()
+		if err := st.Put(key, body); err != nil && s.opts.AccessLog != nil {
+			s.opts.AccessLog.Printf("store flush failed: %v", err)
+		}
+	}()
+}
+
+// result serves one plan entry through cache, store, breaker,
+// singleflight and the worker pool, recording the terminal disposition
+// in the consistent ledger. block selects blocking queue admission
+// (batch runs that were already admitted) over fail-fast 429
+// backpressure (interactive requests). The returned source is one of
+// srcHit (memory), srcDisk (durable store) or srcMiss (computed).
+func (s *Server) result(ctx context.Context, e experiments.PlanEntry, block bool) (body []byte, src string, err error) {
+	body, src, err = s.lookupOrCompute(ctx, e, block)
+	s.disp.record(src, err)
+	return body, src, err
+}
+
+func (s *Server) lookupOrCompute(ctx context.Context, e experiments.PlanEntry, block bool) ([]byte, string, error) {
 	key := ContentKey(entryKey(e))
 	if body, ok := s.cache.Get(key); ok {
-		return body, true, nil
+		return body, srcHit, nil
+	}
+	if st := s.opts.Store; st != nil {
+		if body, ok := st.Get(key); ok {
+			// Read-through promotion: the fast tier absorbs repeats.
+			s.cache.Put(key, body)
+			return body, srcDisk, nil
+		}
 	}
 	art := artefactName(e)
 	if err := s.breaker.Allow(art); err != nil {
-		return nil, false, err
+		return nil, srcMiss, err
 	}
 	body, err, _ := s.flights.Do(key, func() ([]byte, error) {
 		// Re-check under the flight: a previous flight may have filled
@@ -279,11 +383,12 @@ func (s *Server) result(ctx context.Context, e experiments.PlanEntry, block bool
 			return o.body, o.err
 		case <-ctx.Done():
 			// The driver keeps running on its worker and will still
-			// populate the cache; only this waiter gives up.
+			// populate the cache and store (the shutdown drain waits
+			// for both); only this waiter gives up.
 			return nil, ctx.Err()
 		}
 	})
-	return body, false, err
+	return body, srcMiss, err
 }
 
 // httpStatusFor maps compute errors onto response codes.
