@@ -38,6 +38,7 @@ import (
 
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/hw"
+	"timeprotection/internal/snapshot"
 	"timeprotection/internal/store"
 )
 
@@ -59,8 +60,11 @@ func main() {
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "concurrent experiment workers (output is identical for any value)")
 		storeDir   = flag.String("store", "", "durable result store directory; completed artefacts are persisted as they finish")
 		resume     = flag.Bool("resume", false, "skip artefacts already completed in -store (a killed run resumes with byte-identical output)")
+		snapshots  = flag.Bool("snapshots", true, "boot each machine configuration once and fork copy-on-write snapshots (output is byte-identical either way)")
+		snapStats  = flag.Bool("snapshot-stats", false, "report snapshot capture/fork/memo counters to stderr after the run")
 	)
 	flag.Parse()
+	snapshot.SetEnabled(*snapshots)
 	if *resume && *storeDir == "" {
 		fmt.Fprintln(os.Stderr, "tpbench: -resume requires -store DIR")
 		os.Exit(2)
@@ -134,6 +138,9 @@ func main() {
 			os.Exit(2)
 		}
 		defer st.Close()
+		// Machine snapshots share the artefact store, so a restarted run
+		// skips boot as well as completed artefacts.
+		snapshot.AttachStore(st)
 		if *resume {
 			stats := st.Stats()
 			fmt.Fprintf(os.Stderr, "tpbench: resuming from %s (%d completed artefacts recovered)\n",
@@ -142,7 +149,13 @@ func main() {
 		rs = st
 	}
 
-	if err := experiments.RunJobs(experiments.PlanJobs(entries, rs, *resume), *parallel, os.Stdout); err != nil {
+	err := experiments.RunJobs(experiments.PlanJobs(entries, rs, *resume), *parallel, os.Stdout)
+	if *snapStats {
+		s := snapshot.Stats()
+		fmt.Fprintf(os.Stderr, "tpbench: snapshots: %d captures, %d forks, %d disk hits, %d memo hits, %d cold-boot fallbacks\n",
+			s.Captures, s.Forks, s.DiskHits, s.MemoHits, s.Fallbacks)
+	}
+	if err != nil {
 		if !errors.Is(err, experiments.ErrCheckFailed) {
 			fmt.Fprintf(os.Stderr, "tpbench: %v\n", err)
 		}

@@ -10,7 +10,10 @@
 // depend on.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Config describes one cache level.
 type Config struct {
@@ -42,17 +45,59 @@ func (c Config) Colours(pageSize int) int {
 	return n
 }
 
-// line is one cache line. stamp doubles as the validity flag: 0 means
-// invalid, and any valid line carries the monotonic age of its last
-// touch (the global tick), so the victim scan is a plain minimum — an
-// invalid line's stamp 0 beats every valid line without a branch.
-type line struct {
-	tag   uint64
-	stamp uint64
-	dirty bool
+// invalidTag marks an empty way in the tag array. Real tags are
+// line-aligned addresses, so the all-ones pattern can never collide with
+// one and the tag-match scan needs no separate validity check.
+const invalidTag = ^uint64(0)
+
+// lruIdentity is the nibble-stack encoding of ways 0..15 in order
+// (way p at stack position p).
+const lruIdentity = 0xFEDCBA9876543210
+
+// lruMul broadcasts a way index across all 16 nibbles.
+const lruMul = 0x1111111111111111
+
+// lruPos returns the stack position of way in the nibble stack. The
+// stack always holds a permutation of the way indices (unused high
+// nibbles are 0xF fillers, which only 16-way geometries can reach — and
+// those have no fillers), so exactly one in-range nibble matches and the
+// standard zero-nibble SWAR scan finds the lowest match.
+func lruPos(lru uint64, way int) uint {
+	x := lru ^ (uint64(way) * lruMul)
+	t := (x - lruMul) & ^x & 0x8888888888888888
+	return uint(bits.TrailingZeros64(t)) >> 2
 }
 
-func (l *line) valid() bool { return l.stamp != 0 }
+// lruToFront moves way to stack position 0 (most recently used),
+// shifting the nibbles above it down by one place.
+func lruToFront(lru uint64, way int) uint64 {
+	p := lruPos(lru, way)
+	if p == 0 {
+		return lru
+	}
+	low := lru & (1<<(4*p) - 1)
+	high := lru &^ (1<<(4*(p+1)) - 1)
+	return high | low<<4 | uint64(way)
+}
+
+// lruInit builds the initial stack for a ways-way set: identity order
+// with 0xF fillers above.
+func lruInit(ways int) uint64 {
+	if ways >= 16 {
+		return lruIdentity
+	}
+	mask := uint64(1)<<(4*uint(ways)) - 1
+	return (lruIdentity & mask) | ^mask
+}
+
+// setMeta is the per-set replacement state: an LRU stack of way indices
+// (4 bits each, MRU at nibble 0) plus validity and dirty masks. Keeping
+// it per set — instead of a stamp per line — makes the victim choice
+// O(1) and shrinks the state the snapshot layer has to copy on fork.
+type setMeta struct {
+	lru          uint64
+	valid, dirty uint16
+}
 
 // Stats accumulates access statistics for one cache.
 type Stats struct {
@@ -73,21 +118,29 @@ type Eviction struct {
 // with LRU replacement. Lines are identified by a full line-address tag,
 // so the same structure serves physically and virtually indexed levels
 // (the caller chooses which address forms the index).
+//
+// State is held as flat arrays — a tag per line and a setMeta per set —
+// rather than an array of line structs: the tag-match scan touches one
+// or two cache lines of host memory per set instead of several, the LRU
+// victim comes from the nibble stack without a second scan, and the
+// snapshot layer can freeze and fork the arrays wholesale.
 type Cache struct {
 	cfg      Config
 	sets     int
 	lineBits uint
 	setMask  uint64
-	lineMask uint64 // LineSize-1: offset bits cleared to form the tag
-	fullMask uint64 // way mask with every way admitted
-	lines    []line // sets*ways, row-major by set
-	tick     uint64
-	pinMask  uint64 // Arm lockdown: ways excluded from normal fills
+	lineMask uint64    // LineSize-1: offset bits cleared to form the tag
+	fullMask uint64    // way mask with every way admitted
+	availAll uint16    // fullMask truncated to the 16 possible ways
+	tags     []uint64  // sets*ways, row-major by set; invalidTag = empty
+	meta     []setMeta // one per set
+	pinMask  uint64    // Arm lockdown: ways excluded from normal fills
 	Stats    Stats
 }
 
 // New builds a cache from cfg. It panics on a non-power-of-two geometry,
-// which would silently break set indexing.
+// which would silently break set indexing, and on more than 16 ways,
+// which would not fit the per-set LRU stack.
 func New(cfg Config) *Cache {
 	sets := cfg.Sets()
 	if sets <= 0 || sets&(sets-1) != 0 {
@@ -96,13 +149,25 @@ func New(cfg Config) *Cache {
 	if cfg.LineSize&(cfg.LineSize-1) != 0 {
 		panic(fmt.Sprintf("cache %s: line size %d not a power of two", cfg.Name, cfg.LineSize))
 	}
+	if cfg.Ways > 16 {
+		panic(fmt.Sprintf("cache %s: %d ways exceed the 16-way LRU stack", cfg.Name, cfg.Ways))
+	}
 	c := &Cache{
 		cfg:      cfg,
 		sets:     sets,
 		setMask:  uint64(sets - 1),
 		lineMask: uint64(cfg.LineSize - 1),
 		fullMask: uint64(1)<<uint(cfg.Ways) - 1,
-		lines:    make([]line, sets*cfg.Ways),
+		tags:     make([]uint64, sets*cfg.Ways),
+		meta:     make([]setMeta, sets),
+	}
+	c.availAll = uint16(c.fullMask)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	stack := lruInit(cfg.Ways)
+	for i := range c.meta {
+		c.meta[i].lru = stack
 	}
 	for c.cfg.LineSize>>c.lineBits > 1 {
 		c.lineBits++
@@ -188,22 +253,25 @@ func (c *Cache) AccessMasked(indexAddr, tagAddr uint64, write bool, wayMask uint
 	return hit, ev
 }
 
-// touch is the shared hot path of Access and Fill: a tag-match scan of
+// touch is the shared hot path of Access and Fill: one tag-match scan of
 // the set and, on a miss, an LRU fill restricted to wayMask. mark sets
 // the dirty bit (a store, or an already-dirty fill); demand selects
-// whether the access is counted in Stats (fills are not).
+// whether the access is counted in Stats (fills are not). The victim is
+// the lowest-indexed invalid admitted way, else the least recently used
+// admitted way from the nibble stack — exactly the line the former
+// minimum-stamp scan would have chosen, without the scan.
 func (c *Cache) touch(indexAddr, tagAddr uint64, mark bool, wayMask uint64, demand bool) (hit bool, ev Eviction) {
-	c.tick++
 	set := int((indexAddr >> c.lineBits) & c.setMask)
 	tag := tagAddr &^ c.lineMask
-	base := set * c.cfg.Ways
-	ways := c.lines[base : base+c.cfg.Ways]
-	for i := range ways {
-		l := &ways[i]
-		if l.stamp != 0 && l.tag == tag {
-			l.stamp = c.tick
+	nways := c.cfg.Ways
+	base := set * nways
+	tags := c.tags[base : base+nways : base+nways]
+	for i := range tags {
+		if tags[i] == tag {
+			m := &c.meta[set]
+			m.lru = lruToFront(m.lru, i)
 			if mark {
-				l.dirty = true
+				m.dirty |= 1 << uint(i)
 			}
 			if demand {
 				c.Stats.Hits++
@@ -214,41 +282,41 @@ func (c *Cache) touch(indexAddr, tagAddr uint64, mark bool, wayMask uint64, dema
 	if demand {
 		c.Stats.Misses++
 	}
-	// Victim scan: minimum stamp wins, and invalid lines (stamp 0)
-	// automatically beat every valid one. The strict < keeps the
-	// lowest-index line among equals, matching the previous two-branch
-	// bookkeeping exactly.
+	m := &c.meta[set]
+	avail := uint16(wayMask) & c.availAll
 	victim := -1
-	victimStamp := ^uint64(0)
-	if wayMask&c.fullMask == c.fullMask {
-		for i := range ways {
-			if s := ways[i].stamp; s < victimStamp {
-				victim, victimStamp = i, s
+	if inv := avail &^ m.valid; inv != 0 {
+		victim = bits.TrailingZeros16(inv)
+	} else if avail == c.availAll {
+		victim = int(m.lru>>(uint(nways-1)*4)) & 0xF
+	} else if avail != 0 {
+		lru := m.lru
+		for p := nways - 1; p >= 0; p-- {
+			if w := int(lru>>(uint(p)*4)) & 0xF; avail&(1<<uint(w)) != 0 {
+				victim = w
+				break
 			}
-		}
-	} else {
-		bit := uint64(1)
-		for i := range ways {
-			if wayMask&bit != 0 {
-				if s := ways[i].stamp; s < victimStamp {
-					victim, victimStamp = i, s
-				}
-			}
-			bit <<= 1
 		}
 	}
 	if victim < 0 {
 		// Degenerate empty mask: the line is not cached at all.
 		return false, Eviction{}
 	}
-	v := &ways[victim]
-	if v.stamp != 0 {
-		ev = Eviction{Tag: v.tag, Valid: true, Dirty: v.dirty}
-		if v.dirty {
+	bit := uint16(1) << uint(victim)
+	if m.valid&bit != 0 {
+		ev = Eviction{Tag: tags[victim], Valid: true, Dirty: m.dirty&bit != 0}
+		if ev.Dirty {
 			c.Stats.Writebacks++
 		}
 	}
-	*v = line{tag: tag, stamp: c.tick, dirty: mark}
+	tags[victim] = tag
+	m.valid |= bit
+	if mark {
+		m.dirty |= bit
+	} else {
+		m.dirty &^= bit
+	}
+	m.lru = lruToFront(m.lru, victim)
 	return false, ev
 }
 
@@ -272,7 +340,7 @@ func (c *Cache) Contains(indexAddr, tagAddr uint64) bool {
 	tag := c.lineAddr(tagAddr)
 	base := set * c.cfg.Ways
 	for i := base; i < base+c.cfg.Ways; i++ {
-		if c.lines[i].valid() && c.lines[i].tag == tag {
+		if c.tags[i] == tag {
 			return true
 		}
 	}
@@ -282,10 +350,8 @@ func (c *Cache) Contains(indexAddr, tagAddr uint64) bool {
 // ValidLines returns the number of valid lines (tests, occupancy checks).
 func (c *Cache) ValidLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid() {
-			n++
-		}
+	for i := range c.meta {
+		n += bits.OnesCount16(c.meta[i].valid)
 	}
 	return n
 }
@@ -295,38 +361,31 @@ func (c *Cache) ValidLines() int {
 // precisely what the cache-flush channel (paper §5.3.4) modulates.
 func (c *Cache) DirtyLines() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].valid() && c.lines[i].dirty {
-			n++
-		}
+	for i := range c.meta {
+		n += bits.OnesCount16(c.meta[i].dirty)
 	}
 	return n
 }
 
 // SetOccupancy returns the number of valid lines in one set.
 func (c *Cache) SetOccupancy(set int) int {
-	n := 0
-	base := set * c.cfg.Ways
-	for i := base; i < base+c.cfg.Ways; i++ {
-		if c.lines[i].valid() {
-			n++
-		}
-	}
-	return n
+	return bits.OnesCount16(c.meta[set].valid)
 }
 
 // Flush invalidates the whole cache, returning the number of lines that
 // were valid and how many of those were dirty (and thus written back).
 func (c *Cache) Flush() (valid, dirty int) {
-	for i := range c.lines {
-		if c.lines[i].valid() {
-			valid++
-			if c.lines[i].dirty {
-				dirty++
-				c.Stats.Writebacks++
-			}
-		}
-		c.lines[i] = line{}
+	for i := range c.meta {
+		valid += bits.OnesCount16(c.meta[i].valid)
+		dirty += bits.OnesCount16(c.meta[i].dirty)
+	}
+	c.Stats.Writebacks += uint64(dirty)
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	stack := lruInit(c.cfg.Ways)
+	for i := range c.meta {
+		c.meta[i] = setMeta{lru: stack}
 	}
 	c.Stats.Flushes++
 	return valid, dirty
@@ -356,9 +415,13 @@ func (c *Cache) InvalidateTag(tagAddr uint64) bool {
 	for a := 0; a < aliases; a++ {
 		set := baseSet + a*setsPerPage
 		base := set * c.cfg.Ways
-		for i := base; i < base+c.cfg.Ways; i++ {
-			if c.lines[i].valid() && c.lines[i].tag == tag {
-				c.lines[i] = line{}
+		tags := c.tags[base : base+c.cfg.Ways]
+		for i := range tags {
+			if tags[i] == tag {
+				tags[i] = invalidTag
+				bit := uint16(1) << uint(i)
+				c.meta[set].valid &^= bit
+				c.meta[set].dirty &^= bit
 				found = true
 			}
 		}
@@ -369,9 +432,12 @@ func (c *Cache) InvalidateTag(tagAddr uint64) bool {
 // VisitLines calls fn for every valid line (inspection tooling). The
 // callback must not mutate the cache.
 func (c *Cache) VisitLines(fn func(tag uint64, dirty bool)) {
-	for i := range c.lines {
-		if c.lines[i].valid() {
-			fn(c.lines[i].tag, c.lines[i].dirty)
+	for set := range c.meta {
+		m := &c.meta[set]
+		base := set * c.cfg.Ways
+		for v := m.valid; v != 0; v &= v - 1 {
+			i := bits.TrailingZeros16(v)
+			fn(c.tags[base+i], m.dirty&(1<<uint(i)) != 0)
 		}
 	}
 }
@@ -380,14 +446,23 @@ func (c *Cache) VisitLines(fn func(tag uint64, dirty bool)) {
 // under the provided predicate, returning valid/dirty counts of the
 // flushed lines. Used for selective invalidation in tests.
 func (c *Cache) FlushMatching(drop func(tag uint64) bool) (valid, dirty int) {
-	for i := range c.lines {
-		if c.lines[i].valid() && drop(c.lines[i].tag) {
+	for set := range c.meta {
+		m := &c.meta[set]
+		base := set * c.cfg.Ways
+		for v := m.valid; v != 0; v &= v - 1 {
+			i := bits.TrailingZeros16(v)
+			if !drop(c.tags[base+i]) {
+				continue
+			}
 			valid++
-			if c.lines[i].dirty {
+			bit := uint16(1) << uint(i)
+			if m.dirty&bit != 0 {
 				dirty++
 				c.Stats.Writebacks++
 			}
-			c.lines[i] = line{}
+			c.tags[base+i] = invalidTag
+			m.valid &^= bit
+			m.dirty &^= bit
 		}
 	}
 	return valid, dirty

@@ -1,21 +1,16 @@
 package cache
 
+import (
+	"fmt"
+	"math/bits"
+)
+
 // PrefetcherConfig describes a hardware stream prefetcher.
 type PrefetcherConfig struct {
 	Streams  int // number of tracked streams (one per 4 KiB page)
 	Degree   int // prefetch distance in lines once a stream is confirmed
 	Trigger  int // sequential accesses needed to confirm a fresh stream
 	LineSize int
-}
-
-type stream struct {
-	page      uint64
-	lastLine  uint64 // global line number (paddr >> lineBits)
-	dir       int64  // +1 or -1
-	count     int
-	stamp     uint64
-	valid     bool
-	confirmed bool // the stream reached Trigger at least once
 }
 
 // Prefetcher models an aggressive data stream prefetcher. Its stream
@@ -27,21 +22,44 @@ type stream struct {
 // the previously running domain displaced. This hidden state is the
 // model of the residual x86 L2 channel of the paper (Table 3, protected
 // scenario), closable only by disabling the unit via MSR 0x1A4.
+//
+// The stream table is held as parallel flat arrays plus valid/confirmed
+// bitmasks (hence the 64-stream ceiling): the page-match scan on a
+// table miss reads one array of page numbers instead of a table of
+// structs, and the snapshot layer freezes the arrays wholesale.
 type Prefetcher struct {
-	cfg      PrefetcherConfig
-	enabled  bool
-	streams  []stream
-	tick     uint64
-	lineBits uint
-	mru      int      // stream index of the last hit: a streaming access
-	out      []uint64 // reusable OnAccess result buffer
+	cfg       PrefetcherConfig
+	enabled   bool
+	pages     []uint64
+	lastLine  []uint64 // global line number (paddr >> lineBits)
+	stamps    []uint64
+	count     []int32
+	dir       []int8 // +1, -1 or 0
+	valid     uint64 // bitmask over streams
+	confirmed uint64 // the stream reached Trigger at least once
+	tick      uint64
+	lineBits  uint
+	mru       int      // stream index of the last hit: a streaming access
+	out       []uint64 // reusable OnAccess result buffer
 	// Issued counts prefetch lines launched (tests, ablation benches).
 	Issued uint64
 }
 
-// NewPrefetcher builds an enabled prefetcher.
+// NewPrefetcher builds an enabled prefetcher. It panics above 64
+// streams, which would not fit the valid/confirmed bitmasks.
 func NewPrefetcher(cfg PrefetcherConfig) *Prefetcher {
-	p := &Prefetcher{cfg: cfg, enabled: true, streams: make([]stream, cfg.Streams)}
+	if cfg.Streams > 64 {
+		panic(fmt.Sprintf("prefetcher: %d streams exceed the 64-stream table", cfg.Streams))
+	}
+	p := &Prefetcher{
+		cfg:      cfg,
+		enabled:  true,
+		pages:    make([]uint64, cfg.Streams),
+		lastLine: make([]uint64, cfg.Streams),
+		stamps:   make([]uint64, cfg.Streams),
+		count:    make([]int32, cfg.Streams),
+		dir:      make([]int8, cfg.Streams),
+	}
 	for cfg.LineSize>>p.lineBits > 1 {
 		p.lineBits++
 	}
@@ -59,6 +77,41 @@ func (p *Prefetcher) Disable() { p.enabled = false }
 // Enable turns the prefetcher back on.
 func (p *Prefetcher) Enable() { p.enabled = true }
 
+// victimStream picks the entry a new stream displaces: the
+// highest-indexed invalid entry if any, else the least recently used.
+// (Highest invalid, not lowest: the previous struct-table scan let every
+// later invalid entry overwrite the candidate, and the choice is
+// observable through which streams survive, so it is preserved.)
+func (p *Prefetcher) victimStream() int {
+	if inv := ^p.valid & (uint64(1)<<uint(len(p.pages)) - 1); inv != 0 {
+		return 63 - bits.LeadingZeros64(inv)
+	}
+	victim := 0
+	victimStamp := ^uint64(0)
+	for i, s := range p.stamps {
+		if s < victimStamp {
+			victim, victimStamp = i, s
+		}
+	}
+	return victim
+}
+
+// setStream overwrites entry i with a fresh stream.
+func (p *Prefetcher) setStream(i int, page, lastLine uint64, dir int8, count int32, confirmed bool) {
+	p.pages[i] = page
+	p.lastLine[i] = lastLine
+	p.stamps[i] = p.tick
+	p.count[i] = count
+	p.dir[i] = dir
+	bit := uint64(1) << uint(i)
+	p.valid |= bit
+	if confirmed {
+		p.confirmed |= bit
+	} else {
+		p.confirmed &^= bit
+	}
+}
+
 // OnAccess observes a demand access that missed the L1 (the level the
 // stream detector snoops) at physical address paddr, and returns the
 // physical line addresses to prefetch. The caller installs them into
@@ -68,81 +121,71 @@ func (p *Prefetcher) OnAccess(paddr uint64) []uint64 {
 	p.tick++
 	lineAddr := paddr >> p.lineBits
 	page := paddr >> 12
-	var s *stream
+	s := -1
 	// Streaming workloads hit the same entry on consecutive misses, so
 	// check the most recently hit stream before scanning the table.
-	if m := &p.streams[p.mru]; m.valid && m.page == page {
-		s = m
+	if p.valid&(1<<uint(p.mru)) != 0 && p.pages[p.mru] == page {
+		s = p.mru
 	} else {
-		for i := range p.streams {
-			st := &p.streams[i]
-			if st.valid && st.page == page {
-				s = st
+		for v := p.valid; v != 0; v &= v - 1 {
+			i := bits.TrailingZeros64(v)
+			if p.pages[i] == page {
+				s = i
 				p.mru = i
 				break
 			}
 		}
 	}
-	if s == nil {
+	if s < 0 {
 		// Miss: only now pay for the victim scan.
-		victim := 0
-		var victimStamp uint64 = ^uint64(0)
-		for i := range p.streams {
-			st := &p.streams[i]
-			if !st.valid {
-				victim = i
-				victimStamp = 0
-			} else if st.stamp < victimStamp {
-				victim = i
-				victimStamp = st.stamp
-			}
-		}
-		p.streams[victim] = stream{page: page, lastLine: lineAddr, count: 1, stamp: p.tick, valid: true}
+		victim := p.victimStream()
+		p.setStream(victim, page, lineAddr, 0, 1, false)
 		p.mru = victim
 		return nil
 	}
-	s.stamp = p.tick
-	var dir int64
+	p.stamps[s] = p.tick
+	var dir int8
 	switch {
-	case lineAddr == s.lastLine+1:
+	case lineAddr == p.lastLine[s]+1:
 		dir = 1
-	case lineAddr == s.lastLine-1:
+	case lineAddr == p.lastLine[s]-1:
 		dir = -1
 	default:
 		// Sequence broken (e.g. the page is being re-streamed from its
 		// start). A previously confirmed stream re-arms almost instantly;
 		// an unconfirmed one starts training from scratch.
-		s.lastLine = lineAddr
-		s.dir = 0
-		if s.confirmed {
-			s.count = p.cfg.Trigger - 1
+		p.lastLine[s] = lineAddr
+		p.dir[s] = 0
+		if p.confirmed&(1<<uint(s)) != 0 {
+			p.count[s] = int32(p.cfg.Trigger) - 1
 		} else {
-			s.count = 1
+			p.count[s] = 1
 		}
 		return nil
 	}
-	if s.dir == dir {
-		s.count++
+	wasConfirmed := p.confirmed&(1<<uint(s)) != 0
+	if p.dir[s] == dir {
+		p.count[s]++
 	} else {
-		s.dir = dir
-		if s.confirmed {
-			s.count = p.cfg.Trigger
+		p.dir[s] = dir
+		if wasConfirmed {
+			p.count[s] = int32(p.cfg.Trigger)
 		} else {
-			s.count = 2
+			p.count[s] = 2
 		}
 	}
-	s.lastLine = lineAddr
-	if s.count < p.cfg.Trigger {
+	p.lastLine[s] = lineAddr
+	if p.count[s] < int32(p.cfg.Trigger) {
 		return nil
 	}
-	justConfirmed := !s.confirmed || s.count == p.cfg.Trigger
-	s.confirmed = true
+	justConfirmed := !wasConfirmed || p.count[s] == int32(p.cfg.Trigger)
+	p.confirmed |= 1 << uint(s)
 	if !p.enabled {
 		return nil
 	}
 	out := p.out[:0]
 	emit := func(off int64) {
-		next := int64(lineAddr) + dir*off
+		next := int64(lineAddr) + int64(dir)*off
 		if next < 0 {
 			return
 		}
@@ -176,56 +219,37 @@ func (p *Prefetcher) OnAccess(paddr uint64) []uint64 {
 // preArm installs a confirmed, nearly-triggered stream entry for page
 // (unless one already exists), anticipating a sequential crossing.
 func (p *Prefetcher) preArm(page, lastLine uint64) {
-	victim := 0
-	var victimStamp uint64 = ^uint64(0)
-	for i := range p.streams {
-		st := &p.streams[i]
-		if st.valid && st.page == page {
+	for v := p.valid; v != 0; v &= v - 1 {
+		if p.pages[bits.TrailingZeros64(v)] == page {
 			return
 		}
-		if !st.valid {
-			victim = i
-			victimStamp = 0
-		} else if st.stamp < victimStamp {
-			victim = i
-			victimStamp = st.stamp
-		}
 	}
-	p.streams[victim] = stream{
-		page: page, lastLine: lastLine, dir: 1,
-		count: p.cfg.Trigger - 1, stamp: p.tick, valid: true, confirmed: true,
-	}
+	p.setStream(p.victimStream(), page, lastLine, 1, int32(p.cfg.Trigger)-1, true)
 }
 
 // ActiveStreams returns the number of valid stream-table entries. The
 // residual channel exists because this count (and the entries' contents)
 // survive every architected flush.
 func (p *Prefetcher) ActiveStreams() int {
-	n := 0
-	for i := range p.streams {
-		if p.streams[i].valid {
-			n++
-		}
-	}
-	return n
+	return bits.OnesCount64(p.valid)
 }
 
 // ConfirmedStreams returns the number of confirmed streams (tests).
 func (p *Prefetcher) ConfirmedStreams() int {
-	n := 0
-	for i := range p.streams {
-		if p.streams[i].valid && p.streams[i].confirmed {
-			n++
-		}
-	}
-	return n
+	return bits.OnesCount64(p.valid & p.confirmed)
 }
 
 // ResetHidden erases the stream table. No architected operation maps to
 // this; it exists so tests and ablations can model the "better
 // hardware-software contract" the paper argues for.
 func (p *Prefetcher) ResetHidden() {
-	for i := range p.streams {
-		p.streams[i] = stream{}
+	for i := range p.pages {
+		p.pages[i] = 0
+		p.lastLine[i] = 0
+		p.stamps[i] = 0
+		p.count[i] = 0
+		p.dir[i] = 0
 	}
+	p.valid = 0
+	p.confirmed = 0
 }

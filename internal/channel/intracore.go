@@ -8,6 +8,7 @@ import (
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/memory"
 	"timeprotection/internal/mi"
+	"timeprotection/internal/snapshot"
 	"timeprotection/internal/trace"
 )
 
@@ -76,9 +77,11 @@ func (s Spec) withDefaults() Spec {
 }
 
 // buildSystem assembles the two-domain single-core system all intra-core
-// channels run on: domain 0 hosts the sender, domain 1 the receiver.
+// channels run on: domain 0 hosts the sender, domain 1 the receiver. It
+// forks the booted system from the snapshot cache; the prefetcher
+// ablation and ConfigureSystem hook mutate only the private fork.
 func buildSystem(s Spec) (*core.System, error) {
-	sys, err := core.NewSystem(core.Options{
+	sys, err := snapshot.NewSystem(core.Options{
 		Platform:              s.Platform,
 		Scenario:              s.Scenario,
 		Domains:               2,

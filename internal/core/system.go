@@ -73,6 +73,27 @@ type Domain struct {
 	Image *kernel.Image
 }
 
+// Normalized returns the options with every defaulted field resolved.
+// The snapshot layer keys its cache on normalized options so a caller
+// relying on defaults and one spelling them out share a snapshot.
+func (o Options) Normalized() Options { return o.withDefaults() }
+
+// withDefaults resolves the defaulted Options fields. NewSystem and
+// DecodeSystem share it so a forked system records the same resolved
+// options a cold boot would.
+func (o Options) withDefaults() Options {
+	if o.Domains == 0 {
+		o.Domains = 2
+	}
+	if o.TimesliceMicros == 0 {
+		o.TimesliceMicros = 100
+	}
+	if o.Platform.Cores == 0 {
+		o.Platform = hw.Haswell()
+	}
+	return o
+}
+
 // System is a fully assembled machine + kernel + domains.
 type System struct {
 	K       *kernel.Kernel
@@ -89,17 +110,8 @@ type System struct {
 // into coloured pools, clone a kernel into each domain's pool, and bind
 // each domain's process to its kernel image.
 func NewSystem(opts Options) (*System, error) {
-	if opts.Domains == 0 {
-		opts.Domains = 2
-	}
-	if opts.TimesliceMicros == 0 {
-		opts.TimesliceMicros = 100
-	}
+	opts = opts.withDefaults()
 	plat := opts.Platform
-	if plat.Cores == 0 {
-		plat = hw.Haswell()
-		opts.Platform = plat
-	}
 	cfg := kernel.Config{
 		Scenario:        opts.Scenario,
 		TimesliceCycles: plat.MicrosToCycles(opts.TimesliceMicros),

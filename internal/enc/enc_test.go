@@ -1,0 +1,137 @@
+package enc
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var w Writer
+	w.U64(0)
+	w.U64(math.MaxUint64)
+	w.I64(-1)
+	w.I64(math.MinInt64)
+	w.Int(42)
+	w.Bool(true)
+	w.Bool(false)
+	w.F64(3.14159)
+	w.F64(math.Inf(-1))
+	w.String("hello")
+	w.String("")
+	w.U64s([]uint64{1, 2, 3})
+	w.U64s(nil)
+	w.Ints([]int{-5, 0, 5})
+	w.Raw([]byte{0xde, 0xad})
+
+	r := NewReader(w.Bytes())
+	if got := r.U64(); got != 0 {
+		t.Errorf("U64 = %d, want 0", got)
+	}
+	if got := r.U64(); got != math.MaxUint64 {
+		t.Errorf("U64 = %d, want MaxUint64", got)
+	}
+	if got := r.I64(); got != -1 {
+		t.Errorf("I64 = %d, want -1", got)
+	}
+	if got := r.I64(); got != math.MinInt64 {
+		t.Errorf("I64 = %d, want MinInt64", got)
+	}
+	if got := r.Int(); got != 42 {
+		t.Errorf("Int = %d, want 42", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("Bool round-trip failed")
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v, want 3.14159", got)
+	}
+	if got := r.F64(); !math.IsInf(got, -1) {
+		t.Errorf("F64 = %v, want -Inf", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q, want hello", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("String = %q, want empty", got)
+	}
+	if got := r.U64s(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("U64s = %v, want [1 2 3]", got)
+	}
+	if got := r.U64s(); len(got) != 0 {
+		t.Errorf("U64s = %v, want empty", got)
+	}
+	if got := r.Ints(); len(got) != 3 || got[0] != -5 || got[2] != 5 {
+		t.Errorf("Ints = %v, want [-5 0 5]", got)
+	}
+	if got := r.Raw(); !bytes.Equal(got, []byte{0xde, 0xad}) {
+		t.Errorf("Raw = %x, want dead", got)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("Err = %v after valid round-trip", err)
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	var w Writer
+	w.U64(1 << 40)
+	w.String("payload")
+	full := w.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		r := NewReader(full[:cut])
+		r.U64()
+		_ = r.String()
+		if r.Err() == nil {
+			t.Fatalf("cut=%d: truncated read did not error", cut)
+		}
+	}
+}
+
+func TestErrorLatches(t *testing.T) {
+	r := NewReader(nil)
+	if got := r.U64(); got != 0 {
+		t.Errorf("failed U64 = %d, want 0", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("empty read did not error")
+	}
+	// Subsequent reads stay failed and return zero values.
+	if got := r.String(); got != "" {
+		t.Errorf("read after error = %q, want empty", got)
+	}
+	if r.Err() == nil {
+		t.Fatal("error did not latch")
+	}
+}
+
+func TestRawCopies(t *testing.T) {
+	var w Writer
+	src := []byte{1, 2, 3}
+	w.Raw(src)
+	r := NewReader(w.Bytes())
+	got := r.Raw()
+	got[0] = 99
+	r2 := NewReader(w.Bytes())
+	if again := r2.Raw(); again[0] != 1 {
+		t.Fatal("Raw returned aliased backing storage")
+	}
+}
+
+// TestDeterministic asserts the writer is append-only deterministic:
+// the same write sequence yields the same bytes, the foundation of the
+// encode-equality state digests the snapshot layer relies on.
+func TestDeterministic(t *testing.T) {
+	build := func() []byte {
+		var w Writer
+		w.U64(7)
+		w.String("x")
+		w.Ints([]int{3, 1, 2})
+		return w.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Fatal("identical write sequences produced different bytes")
+	}
+}

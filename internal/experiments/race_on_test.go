@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build. The snapshot differential suite checks it: six full registry
+// renders are unaffordable under instrumentation, and byte-equality is
+// a determinism property, not a race property.
+const raceEnabled = true

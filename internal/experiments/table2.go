@@ -6,6 +6,8 @@ import (
 	"timeprotection/internal/hw"
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/memory"
+	"timeprotection/internal/snapshot"
+	"timeprotection/internal/trace"
 )
 
 // Table2Result holds worst-case cache-flush costs in microseconds
@@ -36,57 +38,16 @@ func Table2(cfg Config) (Table2Result, error) {
 	res := Table2Result{Platform: plat.Name}
 
 	measure := func(full bool) (direct, indirect float64, err error) {
-		k, err := kernel.Boot(plat, kernel.Config{Scenario: kernel.ScenarioRaw})
-		if err != nil {
-			return 0, 0, err
+		// Each measurement is deterministic in (platform, full); untraced
+		// runs are memoized, and the machine is forked either way.
+		if cfg.Tracer == nil {
+			r, err := snapshot.Memo(fmt.Sprintf("table2|%t|%+v", full, plat), func() ([2]float64, error) {
+				d, i, err := measureFlush(plat, full, nil)
+				return [2]float64{d, i}, err
+			})
+			return r[0], r[1], err
 		}
-		if cfg.Tracer != nil {
-			k.AttachTracer(cfg.Tracer)
-		}
-		m := k.M
-		lineSize := uint64(plat.Hierarchy.L1D.LineSize)
-		// Application working set: the size of the flushed cache.
-		wsBytes := plat.Hierarchy.L1D.Size
-		if full {
-			llc := m.Hier.LLC()
-			wsBytes = llc.Sets() * llc.LineSize() * llc.Ways()
-		}
-		pool := memory.NewPool(m.Alloc, nil)
-		frames, err := pool.AllocN((wsBytes + memory.PageSize - 1) / memory.PageSize)
-		if err != nil {
-			return 0, 0, err
-		}
-		pass := func(write bool) uint64 {
-			t0 := m.Cores[0].Now
-			for _, f := range frames {
-				for off := uint64(0); off < memory.PageSize; off += lineSize {
-					if write {
-						m.PhysStore(0, f.Addr()+off)
-					} else {
-						m.PhysLoad(0, f.Addr()+off)
-					}
-				}
-			}
-			return m.Cores[0].Now - t0
-		}
-		// Warm up, then dirty every line (the worst case for write-back).
-		pass(true)
-		warm := pass(false)
-		pass(true)
-		// Direct cost: the flush itself.
-		t0 := m.Cores[0].Now
-		if full {
-			k.FullFlush(0)
-		} else {
-			k.FlushOnCore(0, k.BootImage())
-		}
-		direct = plat.CyclesToMicros(m.Cores[0].Now - t0)
-		// Indirect cost: the application's one-off refill slowdown.
-		cold := pass(false)
-		if cold > warm {
-			indirect = plat.CyclesToMicros(cold - warm)
-		}
-		return direct, indirect, nil
+		return measureFlush(plat, full, cfg.Tracer)
 	}
 
 	var err error
@@ -97,6 +58,59 @@ func Table2(cfg Config) (Table2Result, error) {
 		return res, err
 	}
 	return res, nil
+}
+
+// measureFlush performs one Table 2 measurement on a freshly forked
+// machine.
+func measureFlush(plat hw.Platform, full bool, tr *trace.Sink) (direct, indirect float64, err error) {
+	k, err := snapshot.BootKernel(plat, kernel.Config{Scenario: kernel.ScenarioRaw}, tr)
+	if err != nil {
+		return 0, 0, err
+	}
+	m := k.M
+	lineSize := uint64(plat.Hierarchy.L1D.LineSize)
+	// Application working set: the size of the flushed cache.
+	wsBytes := plat.Hierarchy.L1D.Size
+	if full {
+		llc := m.Hier.LLC()
+		wsBytes = llc.Sets() * llc.LineSize() * llc.Ways()
+	}
+	pool := memory.NewPool(m.Alloc, nil)
+	frames, err := pool.AllocN((wsBytes + memory.PageSize - 1) / memory.PageSize)
+	if err != nil {
+		return 0, 0, err
+	}
+	pass := func(write bool) uint64 {
+		t0 := m.Cores[0].Now
+		for _, f := range frames {
+			for off := uint64(0); off < memory.PageSize; off += lineSize {
+				if write {
+					m.PhysStore(0, f.Addr()+off)
+				} else {
+					m.PhysLoad(0, f.Addr()+off)
+				}
+			}
+		}
+		return m.Cores[0].Now - t0
+	}
+	// Warm up, then dirty every line (the worst case for write-back).
+	pass(true)
+	warm := pass(false)
+	pass(true)
+	// Direct cost: the flush itself.
+	t0 := m.Cores[0].Now
+	if full {
+		k.FullFlush(0)
+	} else {
+		k.FlushOnCore(0, k.BootImage())
+	}
+	direct = plat.CyclesToMicros(m.Cores[0].Now - t0)
+	// Indirect cost: the application's one-off refill slowdown.
+	cold := pass(false)
+	if cold > warm {
+		indirect = plat.CyclesToMicros(cold - warm)
+	}
+	return direct, indirect, nil
 }
 
 // Table2Both runs Table 2 for both platforms.

@@ -4,8 +4,11 @@ import (
 	"fmt"
 
 	"timeprotection/internal/core"
+	"timeprotection/internal/hw"
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/memory"
+	"timeprotection/internal/snapshot"
+	"timeprotection/internal/trace"
 	"timeprotection/internal/workload"
 )
 
@@ -119,54 +122,74 @@ func Table6(cfg Config) (Table6Result, error) {
 	for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioFullFlush, kernel.ScenarioProtected} {
 		res.Micros[sc] = map[string]float64{}
 		for _, w := range wls {
-			sys, err := core.NewSystem(core.Options{Platform: plat, Scenario: sc, Tracer: cfg.Tracer})
+			// Each cell is deterministic in (platform, scenario, workload);
+			// untraced cells are memoized process-wide.
+			var cell float64
+			var err error
+			if cfg.Tracer == nil {
+				cell, err = snapshot.Memo(fmt.Sprintf("table6|%d|%s|%+v", sc, w.name, plat), func() (float64, error) {
+					return table6Cell(plat, sc, w.bytes, w.exec, nil)
+				})
+			} else {
+				cell, err = table6Cell(plat, sc, w.bytes, w.exec, cfg.Tracer)
+			}
 			if err != nil {
-				return res, err
+				return res, fmt.Errorf("table6 (%v, %s): %w", sc, w.name, err)
 			}
-			pages := (w.bytes + memory.PageSize - 1) / memory.PageSize
-			recv := &table6Receiver{base: 0x1000_0000, exec: w.exec}
-			if pages > 0 {
-				if _, err := sys.MapBuffer(0, 0x1000_0000, pages); err != nil {
-					return res, err
-				}
-				recv.lines = pages * memory.PageSize / 64
-			}
-			if _, err := sys.Spawn(0, "receiver", 10, recv); err != nil {
-				return res, err
-			}
-			if _, err := sys.Spawn(1, "idle-domain", 10, kernel.ProgramFunc(func(e *kernel.Env) bool {
-				e.Spin(500)
-				return true
-			})); err != nil {
-				return res, err
-			}
-			// Sample the switch cost after ticks where the receiver's
-			// domain was left (current domain is now the idle one).
-			var sum float64
-			var n int
-			last := uint64(0)
-			for i := 0; i < 64; i++ {
-				sys.RunCoreFor(0, sys.Timeslice())
-				m := sys.K.Metrics
-				if m.DomainSwitches == last {
-					continue
-				}
-				last = m.DomainSwitches
-				if i < 8 { // warm-up
-					continue
-				}
-				if t := sys.K.CurrentThread(0); t != nil && t.Domain == 1 {
-					sum += plat.CyclesToMicros(m.LastDomainSwitchCycles)
-					n++
-				}
-			}
-			if n == 0 {
-				return res, fmt.Errorf("table6: no switches sampled (%v, %s)", sc, w.name)
-			}
-			res.Micros[sc][w.name] = sum / float64(n)
+			res.Micros[sc][w.name] = cell
 		}
 	}
 	return res, nil
+}
+
+// table6Cell measures one (scenario, workload) cell of Table 6 on a
+// forked system.
+func table6Cell(plat hw.Platform, sc kernel.Scenario, wsBytes int, exec bool, tr *trace.Sink) (float64, error) {
+	sys, err := snapshot.NewSystem(core.Options{Platform: plat, Scenario: sc, Tracer: tr})
+	if err != nil {
+		return 0, err
+	}
+	pages := (wsBytes + memory.PageSize - 1) / memory.PageSize
+	recv := &table6Receiver{base: 0x1000_0000, exec: exec}
+	if pages > 0 {
+		if _, err := sys.MapBuffer(0, 0x1000_0000, pages); err != nil {
+			return 0, err
+		}
+		recv.lines = pages * memory.PageSize / 64
+	}
+	if _, err := sys.Spawn(0, "receiver", 10, recv); err != nil {
+		return 0, err
+	}
+	if _, err := sys.Spawn(1, "idle-domain", 10, kernel.ProgramFunc(func(e *kernel.Env) bool {
+		e.Spin(500)
+		return true
+	})); err != nil {
+		return 0, err
+	}
+	// Sample the switch cost after ticks where the receiver's domain was
+	// left (current domain is now the idle one).
+	var sum float64
+	var n int
+	last := uint64(0)
+	for i := 0; i < 64; i++ {
+		sys.RunCoreFor(0, sys.Timeslice())
+		m := sys.K.Metrics
+		if m.DomainSwitches == last {
+			continue
+		}
+		last = m.DomainSwitches
+		if i < 8 { // warm-up
+			continue
+		}
+		if t := sys.K.CurrentThread(0); t != nil && t.Domain == 1 {
+			sum += plat.CyclesToMicros(m.LastDomainSwitchCycles)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("no switches sampled")
+	}
+	return sum / float64(n), nil
 }
 
 // Table7Result is the kernel clone/destroy cost against the monolithic
@@ -190,17 +213,41 @@ func (r Table7Result) Render() string {
 		[]string{"Operation", "us"}, rows)
 }
 
-// Table7 measures clone, destroy and the fork+exec comparator.
+// Table7 measures clone, destroy and the fork+exec comparator. The
+// clone/destroy measurement is deterministic in the platform; untraced
+// runs are memoized and the kernel is forked either way.
 func Table7(cfg Config) (Table7Result, error) {
 	cfg = cfg.withDefaults()
 	plat := cfg.Platform
 	res := Table7Result{Platform: plat.Name}
-	k, err := kernel.Boot(plat, kernel.Config{Scenario: kernel.ScenarioProtected, CloneSupport: true})
+	var cd [2]float64
+	var err error
+	if cfg.Tracer == nil {
+		cd, err = snapshot.Memo(fmt.Sprintf("table7|%+v", plat), func() ([2]float64, error) {
+			return table7CloneDestroy(plat, nil)
+		})
+	} else {
+		cd, err = table7CloneDestroy(plat, cfg.Tracer)
+	}
 	if err != nil {
 		return res, err
 	}
-	if cfg.Tracer != nil {
-		k.AttachTracer(cfg.Tracer)
+	res.CloneMicros, res.DestroyMicros = cd[0], cd[1]
+	fe, err := workload.ForkExecCost(plat)
+	if err != nil {
+		return res, err
+	}
+	res.ForkExecMicros = plat.CyclesToMicros(fe)
+	return res, nil
+}
+
+// table7CloneDestroy measures kernel clone and destroy on a forked
+// kernel, returning {clone, destroy} in microseconds.
+func table7CloneDestroy(plat hw.Platform, tr *trace.Sink) ([2]float64, error) {
+	var res [2]float64
+	k, err := snapshot.BootKernel(plat, kernel.Config{Scenario: kernel.ScenarioProtected, CloneSupport: true}, tr)
+	if err != nil {
+		return res, err
 	}
 	pool := memory.NewPool(k.M.Alloc, memory.SplitColours(plat.Colours(), 2)[0])
 	km, err := k.NewKernelMemory(pool)
@@ -212,16 +259,11 @@ func Table7(cfg Config) (Table7Result, error) {
 	if err != nil {
 		return res, err
 	}
-	res.CloneMicros = plat.CyclesToMicros(k.M.Cores[0].Now - t0)
+	res[0] = plat.CyclesToMicros(k.M.Cores[0].Now - t0)
 	t0 = k.M.Cores[0].Now
 	if err := k.DestroyImage(0, img); err != nil {
 		return res, err
 	}
-	res.DestroyMicros = plat.CyclesToMicros(k.M.Cores[0].Now - t0)
-	fe, err := workload.ForkExecCost(plat)
-	if err != nil {
-		return res, err
-	}
-	res.ForkExecMicros = plat.CyclesToMicros(fe)
+	res[1] = plat.CyclesToMicros(k.M.Cores[0].Now - t0)
 	return res, nil
 }

@@ -36,11 +36,15 @@ func ColourOf(p PFN, numColours int) int {
 
 // FrameAllocator hands out physical frames with per-colour free lists.
 // It is the machine-wide authority; per-domain Pools draw from it.
+// Allocation status lives in a bitmap over [base, base+total) rather
+// than a map: every boot and clone marks thousands of frames, and the
+// bitmap makes that allocation-free.
 type FrameAllocator struct {
 	numColours int
 	free       [][]PFN // per colour, LIFO
+	base       PFN
 	total      int
-	allocated  map[PFN]bool
+	allocated  []uint64 // bit i set = frame base+i allocated
 }
 
 // NewFrameAllocator manages frames [base, base+count). numColours must
@@ -53,8 +57,9 @@ func NewFrameAllocator(base PFN, count, numColours int) *FrameAllocator {
 	a := &FrameAllocator{
 		numColours: numColours,
 		free:       make([][]PFN, numColours),
+		base:       base,
 		total:      count,
-		allocated:  make(map[PFN]bool),
+		allocated:  make([]uint64, (count+63)/64),
 	}
 	// Push in reverse so allocation order is ascending.
 	for i := count - 1; i >= 0; i-- {
@@ -63,6 +68,26 @@ func NewFrameAllocator(base PFN, count, numColours int) *FrameAllocator {
 		a.free[c] = append(a.free[c], f)
 	}
 	return a
+}
+
+// isAllocated reports the bitmap bit for f; frames outside the managed
+// range are never allocated.
+func (a *FrameAllocator) isAllocated(f PFN) bool {
+	if f < a.base || f >= a.base+PFN(a.total) {
+		return false
+	}
+	i := uint64(f - a.base)
+	return a.allocated[i>>6]&(1<<(i&63)) != 0
+}
+
+// setAllocated flips the bitmap bit for a frame known to be in range.
+func (a *FrameAllocator) setAllocated(f PFN, on bool) {
+	i := uint64(f - a.base)
+	if on {
+		a.allocated[i>>6] |= 1 << (i & 63)
+	} else {
+		a.allocated[i>>6] &^= 1 << (i & 63)
+	}
 }
 
 // NumColours returns the system colour count.
@@ -91,7 +116,7 @@ func (a *FrameAllocator) Alloc(colour int) (PFN, error) {
 	}
 	f := l[len(l)-1]
 	a.free[colour] = l[:len(l)-1]
-	a.allocated[f] = true
+	a.setAllocated(f, true)
 	return f, nil
 }
 
@@ -99,7 +124,7 @@ func (a *FrameAllocator) Alloc(colour int) (PFN, error) {
 // Pools use it to keep buffers physically contiguous where the colour
 // discipline allows (contiguity matters to stream prefetchers).
 func (a *FrameAllocator) AllocPFN(f PFN) bool {
-	if a.allocated[f] {
+	if a.isAllocated(f) {
 		return false
 	}
 	c := ColourOf(f, a.numColours)
@@ -107,7 +132,7 @@ func (a *FrameAllocator) AllocPFN(f PFN) bool {
 	for i := len(l) - 1; i >= 0; i-- {
 		if l[i] == f {
 			a.free[c] = append(l[:i], l[i+1:]...)
-			a.allocated[f] = true
+			a.setAllocated(f, true)
 			return true
 		}
 	}
@@ -132,17 +157,17 @@ func (a *FrameAllocator) AllocAny() (PFN, error) {
 
 // Free returns a frame to its colour's free list.
 func (a *FrameAllocator) Free(f PFN) error {
-	if !a.allocated[f] {
+	if !a.isAllocated(f) {
 		return fmt.Errorf("memory: double free or foreign frame %d", f)
 	}
-	delete(a.allocated, f)
+	a.setAllocated(f, false)
 	c := ColourOf(f, a.numColours)
 	a.free[c] = append(a.free[c], f)
 	return nil
 }
 
 // Allocated reports whether f is currently allocated (tests, audits).
-func (a *FrameAllocator) Allocated(f PFN) bool { return a.allocated[f] }
+func (a *FrameAllocator) Allocated(f PFN) bool { return a.isAllocated(f) }
 
 // Pool is a per-domain allocation context restricted to a colour set.
 // An empty colour set means "any colour" (the unpartitioned raw system).

@@ -1,0 +1,170 @@
+package memory
+
+// Snapshot codec (see internal/cache/snapshot.go for the conventions):
+// mutable allocator, pool and page-table state round-trips through
+// internal/enc so a booted machine can be forked. Free-list ORDER is
+// part of the state — allocation is LIFO, so two allocators are
+// behaviourally identical only if their lists match element for element.
+
+import (
+	"fmt"
+	"sort"
+
+	"timeprotection/internal/enc"
+)
+
+func EncodePFNs(w *enc.Writer, fs []PFN) {
+	w.U64(uint64(len(fs)))
+	for _, f := range fs {
+		w.U64(uint64(f))
+	}
+}
+
+func DecodePFNs(r *enc.Reader) []PFN {
+	n := int(r.U64())
+	if r.Err() != nil || n == 0 {
+		return nil
+	}
+	if n < 0 || n > r.Remaining() {
+		return nil
+	}
+	out := make([]PFN, n)
+	for i := range out {
+		out[i] = PFN(r.U64())
+	}
+	return out
+}
+
+// EncodeState appends the allocator's mutable state to w.
+func (a *FrameAllocator) EncodeState(w *enc.Writer) {
+	w.U64(uint64(a.base))
+	w.Int(a.total)
+	w.Int(a.numColours)
+	for _, l := range a.free {
+		EncodePFNs(w, l)
+	}
+	w.U64s(a.allocated)
+}
+
+// DecodeState restores allocator state into an allocator constructed
+// over the same frame range and colour count.
+func (a *FrameAllocator) DecodeState(r *enc.Reader) error {
+	base := PFN(r.U64())
+	total := r.Int()
+	colours := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if base != a.base || total != a.total || colours != a.numColours {
+		return fmt.Errorf("memory: allocator shape mismatch (got base=%d total=%d colours=%d, want base=%d total=%d colours=%d)",
+			base, total, colours, a.base, a.total, a.numColours)
+	}
+	for c := range a.free {
+		a.free[c] = DecodePFNs(r)
+	}
+	bm := r.U64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(bm) > len(a.allocated) {
+		return fmt.Errorf("memory: allocator bitmap length mismatch")
+	}
+	for i := range a.allocated {
+		a.allocated[i] = 0
+	}
+	copy(a.allocated, bm)
+	return nil
+}
+
+// EncodeState appends the pool's mutable state to w. The backing
+// allocator reference is supplied again at decode time.
+func (p *Pool) EncodeState(w *enc.Writer) {
+	w.Ints(p.colours)
+	w.Int(p.next)
+	EncodePFNs(w, p.frames)
+}
+
+// DecodePool reconstructs a pool over allocator a from EncodeState output.
+func DecodePool(a *FrameAllocator, r *enc.Reader) (*Pool, error) {
+	p := &Pool{
+		alloc:   a,
+		colours: r.Ints(),
+		next:    r.Int(),
+		frames:  DecodePFNs(r),
+	}
+	return p, r.Err()
+}
+
+// EncodeState appends the address space's translation state to w (the
+// walk memo is transient and excluded; the backing pool is supplied
+// again at decode time). Map entries are written in sorted key order so
+// the encoding is canonical.
+func (as *AddressSpace) EncodeState(w *enc.Writer) {
+	w.U64(uint64(as.asid))
+	w.U64(uint64(as.root))
+	tops := make([]uint64, 0, len(as.tables))
+	for k := range as.tables {
+		tops = append(tops, k)
+	}
+	sort.Slice(tops, func(i, j int) bool { return tops[i] < tops[j] })
+	w.U64(uint64(len(tops)))
+	for _, k := range tops {
+		w.U64(k)
+		w.U64(uint64(as.tables[k]))
+	}
+	vpns := make([]uint64, 0, len(as.pages))
+	for k := range as.pages {
+		vpns = append(vpns, k)
+	}
+	sort.Slice(vpns, func(i, j int) bool { return vpns[i] < vpns[j] })
+	w.U64(uint64(len(vpns)))
+	for _, k := range vpns {
+		e := as.pages[k]
+		w.U64(k)
+		w.U64(uint64(e.frame))
+		w.Bool(e.global)
+	}
+}
+
+// DecodeAddressSpace reconstructs an address space backed by pool from
+// EncodeState output.
+func DecodeAddressSpace(pool *Pool, r *enc.Reader) (*AddressSpace, error) {
+	as := &AddressSpace{
+		asid: uint16(r.U64()),
+		root: PFN(r.U64()),
+		pool: pool,
+	}
+	nt := int(r.U64())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	as.tables = make(map[uint64]PFN, nt)
+	for i := 0; i < nt; i++ {
+		k := r.U64()
+		as.tables[k] = PFN(r.U64())
+	}
+	np := int(r.U64())
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	as.pages = make(map[uint64]pte, np)
+	for i := 0; i < np; i++ {
+		k := r.U64()
+		f := PFN(r.U64())
+		g := r.Bool()
+		as.pages[k] = pte{frame: f, global: g}
+	}
+	return as, r.Err()
+}
+
+// EncodeState appends the untyped region's state to w.
+func (u *Untyped) EncodeState(w *enc.Writer) {
+	EncodePFNs(w, u.frames)
+	w.Int(u.used)
+}
+
+// DecodeUntyped reconstructs an untyped region from EncodeState output.
+func DecodeUntyped(r *enc.Reader) (*Untyped, error) {
+	u := &Untyped{frames: DecodePFNs(r), used: r.Int()}
+	return u, r.Err()
+}

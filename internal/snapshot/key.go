@@ -1,0 +1,27 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"timeprotection/internal/core"
+	"timeprotection/internal/hw"
+	"timeprotection/internal/kernel"
+)
+
+// SystemKey canonicalizes a core.Options value into the snapshot cache
+// key for the system it boots. The tracer is excluded — it is a host
+// attachment, not simulated state — and defaults are resolved first so
+// equivalent option spellings share a snapshot. Every remaining Options
+// field (platform geometry included) is a plain value, so the formatted
+// struct is a complete, deterministic fingerprint of the configuration.
+func SystemKey(opts core.Options) string {
+	o := opts.Normalized()
+	o.Tracer = nil
+	return fmt.Sprintf("sys|%+v", o)
+}
+
+// KernelKey canonicalizes a bare-kernel boot configuration, for call
+// sites that assemble machines below the core layer.
+func KernelKey(plat hw.Platform, cfg kernel.Config) string {
+	return fmt.Sprintf("kern|%+v|%+v", plat, cfg)
+}

@@ -1,0 +1,56 @@
+package snapshot
+
+import "sync"
+
+// Run memoization rides on the same determinism argument as machine
+// forking: an experiment run is a pure function of its configuration,
+// so when no event-retaining tracer is watching, identical runs can be
+// computed once per process and the result shared. Callers must treat
+// memoized values as immutable.
+
+type memoEntry struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+var (
+	memoMu   sync.Mutex
+	memoVals = map[string]*memoEntry{}
+)
+
+// Memo returns the memoized result for key, computing it via compute on
+// first use. Concurrent callers for the same key block on a single
+// in-flight computation (singleflight). Errors are returned to every
+// waiter but not cached — the next caller retries. When snapshots are
+// disabled, Memo degrades to calling compute directly.
+func Memo[T any](key string, compute func() (T, error)) (T, error) {
+	if !Enabled() {
+		return compute()
+	}
+	memoMu.Lock()
+	if e, ok := memoVals[key]; ok {
+		memoMu.Unlock()
+		e.wg.Wait()
+		if e.err != nil {
+			var zero T
+			return zero, e.err
+		}
+		counters.memoHits.Add(1)
+		return e.val.(T), nil
+	}
+	e := &memoEntry{}
+	e.wg.Add(1)
+	memoVals[key] = e
+	memoMu.Unlock()
+
+	v, err := compute()
+	e.val, e.err = v, err
+	if err != nil {
+		memoMu.Lock()
+		delete(memoVals, key)
+		memoMu.Unlock()
+	}
+	e.wg.Done()
+	return v, err
+}

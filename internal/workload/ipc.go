@@ -6,6 +6,7 @@ import (
 	"timeprotection/internal/hw"
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/memory"
+	"timeprotection/internal/snapshot"
 	"timeprotection/internal/trace"
 )
 
@@ -39,20 +40,27 @@ func IPCVariants() []IPCVariant {
 
 // MeasureIPC returns the steady-state one-way cost in cycles of
 // cross-address-space call/reply IPC under the given variant (Table 5).
-// tr, when non-nil, observes the run.
+// tr, when non-nil, observes the run. Untraced measurements are
+// memoized process-wide (deterministic in plat and variant).
 func MeasureIPC(plat hw.Platform, variant IPCVariant, tr *trace.Sink) (float64, error) {
+	if tr == nil {
+		return snapshot.Memo(fmt.Sprintf("ipc|%d|%+v", variant, plat), func() (float64, error) {
+			return measureIPC(plat, variant, nil)
+		})
+	}
+	return measureIPC(plat, variant, tr)
+}
+
+func measureIPC(plat hw.Platform, variant IPCVariant, tr *trace.Sink) (float64, error) {
 	cloneSupport := variant != IPCOriginal
-	k, err := kernel.Boot(plat, kernel.Config{
+	k, err := snapshot.BootKernel(plat, kernel.Config{
 		Scenario: kernel.ScenarioRaw,
 		// A long slice keeps preemption out of the measurement.
 		TimesliceCycles: plat.MicrosToCycles(100_000),
 		CloneSupport:    cloneSupport,
-	})
+	}, tr)
 	if err != nil {
 		return 0, err
-	}
-	if tr != nil {
-		k.AttachTracer(tr)
 	}
 	if variant == IPCIntraColour || variant == IPCInterColour {
 		// Give clones their own colour pools, as a partitioned system

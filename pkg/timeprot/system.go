@@ -4,6 +4,7 @@ import (
 	"timeprotection/internal/core"
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/memory"
+	"timeprotection/internal/snapshot"
 )
 
 // System is a fully assembled machine, kernel and security-domain
@@ -56,9 +57,12 @@ const (
 // paper's §3.3 recipe: split free memory into coloured pools, clone a
 // kernel into each domain's pool, and bind each domain's process to its
 // kernel image.
+// Repeated boots of the same configuration within a process fork a
+// cached machine snapshot instead of re-running boot; the returned
+// system is always a fully independent copy.
 func NewSystem(opts ...Option) (*System, error) {
 	s := newSettings(opts)
-	return core.NewSystem(core.Options{
+	return snapshot.NewSystem(core.Options{
 		Platform:        s.platform,
 		Scenario:        s.scenario,
 		Domains:         s.domains,
@@ -77,12 +81,12 @@ func Boot(opts ...Option) (*Kernel, error) {
 	if s.timesliceMicros > 0 {
 		timeslice = s.platform.MicrosToCycles(s.timesliceMicros)
 	}
-	return kernel.Boot(s.platform, kernel.Config{
+	return snapshot.BootKernel(s.platform, kernel.Config{
 		Scenario:        s.scenario,
 		TimesliceCycles: timeslice,
 		CloneSupport:    s.cloneSupport,
 		TraceSize:       s.traceSize,
-	})
+	}, nil)
 }
 
 // SplitColours partitions n page colours into k contiguous shares.

@@ -6,10 +6,18 @@
 # repo root, and prints a per-benchmark delta against the most recent
 # previous snapshot.
 #
+# After recording, the regression gate compares every benchmark present
+# in both snapshots and fails (exit 1) when ns/op, B/op or allocs/op
+# regressed by more than the threshold. The fresh snapshot is written
+# either way, so a failing run still records the trajectory.
+#
 # Environment:
-#   BENCHTIME  go test -benchtime value (default 1s; use e.g. 1x for a
-#              quick single-iteration pass)
-#   BENCH      benchmark name regex (default '.')
+#   BENCHTIME       go test -benchtime value (default 1s; use e.g. 1x
+#                   for a quick single-iteration pass)
+#   BENCH           benchmark name regex (default '.')
+#   BENCH_GATE      set to 0 to skip the regression gate (e.g. when the
+#                   previous snapshot came from different hardware)
+#   BENCH_GATE_PCT  regression threshold in percent (default 15)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -73,6 +81,48 @@ if [ -n "$prev" ]; then
 		}
 	}
 	' "$prev" "$today"
+
+	if [ "${BENCH_GATE:-1}" != "0" ]; then
+		echo ""
+		echo "regression gate vs $prev (threshold ${BENCH_GATE_PCT:-15}%):"
+		awk -F'"' -v pct="${BENCH_GATE_PCT:-15}" '
+		function metric(line, key,   v) {
+			v = line
+			if (!sub(".*\"" key "\": ", "", v)) return ""
+			sub(/[,}].*/, "", v)
+			return v
+		}
+		/ns_op/ {
+			name = $2
+			if (FILENAME == ARGV[1]) {
+				ns[name] = metric($0, "ns_op")
+				b[name] = metric($0, "b_op")
+				al[name] = metric($0, "allocs_op")
+				next
+			}
+			if (!(name in ns)) next
+			split("ns_op b_op allocs_op", keys, " ")
+			old[1] = ns[name]; old[2] = b[name]; old[3] = al[name]
+			for (i = 1; i <= 3; i++) {
+				new = metric($0, keys[i])
+				if (old[i] + 0 <= 0 || new == "") continue
+				delta = (new - old[i]) / old[i] * 100
+				# Sub-100ns/op benchmarks sit at timer resolution; a
+				# relative gate there measures noise, not regressions.
+				if (keys[i] == "ns_op" && old[i] + 0 < 100) continue
+				if (delta > pct + 0) {
+					printf "  FAIL %-50s %s %14s -> %14s  (+%.1f%% > %s%%)\n", \
+						name, keys[i], old[i], new, delta, pct
+					bad++
+				}
+			}
+		}
+		END {
+			if (bad) { printf "  %d regression(s)\n", bad; exit 1 }
+			print "  clean"
+		}
+		' "$prev" "$today" || exit 1
+	fi
 else
 	echo "no previous snapshot; $today is the baseline." >&2
 fi
