@@ -11,6 +11,7 @@
 //	tpserved -store /var/lib/tpserved     # durable tier: restarts serve from disk
 //	tpserved -retries 3 -breaker-threshold 5 -log   # hardened serving
 //	tpserved -fault-rate 0.3 -fault-panic-rate 0.2 -retries 8   # chaos drill
+//	tpserved -peers a:8080,b:8080,c:8080 -self a:8080 -store DIR   # one shard of three
 //
 // API:
 //
@@ -35,6 +36,18 @@
 // is shared with tpbench -store: both front-ends address results by
 // the same canonical content key.
 //
+// With -peers and -self, N daemons form a statically-membered cluster
+// (internal/cluster): a consistent-hash ring over the content-addressed
+// key space assigns each artefact key an owning shard, non-owners
+// forward requests to the owner (X-Cache: forward, loop-guarded,
+// singleflight at both hops), and each computed entry is replicated
+// write-behind to -replicas ring successors so a killed shard's results
+// survive on whoever inherits its keys. Routing is health-gated through
+// /healthz probes plus a per-peer circuit breaker; any peer failure
+// falls back to local compute — a cluster never turns a servable
+// request into an error. /metricz gains a "cluster" section (per-peer
+// forwards, failovers, replication lag).
+//
 // Resilience: failed driver runs are retried with exponential backoff
 // (-retries, -retry-base), repeatedly failing artefacts are cut off by
 // a per-artefact circuit breaker (-breaker-threshold,
@@ -56,9 +69,11 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"timeprotection/internal/cluster"
 	"timeprotection/internal/fault"
 	"timeprotection/internal/service"
 	"timeprotection/internal/snapshot"
@@ -76,6 +91,12 @@ func main() {
 
 		storeDir = flag.String("store", "", "durable result store directory; restarts serve previously computed artefacts from disk (X-Cache: disk)")
 		storeMax = flag.Int64("store-max-bytes", 0, "store size cap; LRU entries beyond it are garbage-collected (0 = unbounded)")
+
+		peers      = flag.String("peers", "", "comma-separated host:port cluster membership (static); enables sharded serving")
+		self       = flag.String("self", "", "this shard's advertised host:port (required with -peers; added to the member set if absent)")
+		replicas   = flag.Int("replicas", 1, "ring successors receiving a write-behind copy of each computed entry (0 = no replication)")
+		fwdTimeout = flag.Duration("forward-timeout", 15*time.Second, "per-peer read-through request bound")
+		probeEvery = flag.Duration("probe-interval", 2*time.Second, "background /healthz sweep period (0 = passive health only)")
 
 		retries     = flag.Int("retries", 0, "re-attempts per failed driver run (exponential backoff)")
 		retryBase   = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff; doubles per attempt, jittered, capped at 5s")
@@ -134,6 +155,35 @@ func main() {
 		log.Printf("tpserved: durable store %s (%d entries recovered, %d quarantined, %d journal records torn)",
 			*storeDir, stats.Recovered, stats.Quarantined, stats.TornRecords)
 	}
+	var cl *cluster.Cluster
+	if *peers != "" {
+		if *self == "" {
+			fmt.Fprintln(os.Stderr, "tpserved: -peers requires -self (this shard's advertised host:port)")
+			os.Exit(2)
+		}
+		var members []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				members = append(members, p)
+			}
+		}
+		var err error
+		cl, err = cluster.New(cluster.Options{
+			Self:             *self,
+			Peers:            members,
+			Replicas:         *replicas,
+			ForwardTimeout:   *fwdTimeout,
+			ProbeInterval:    *probeEvery,
+			BreakerThreshold: 1,
+			Log:              log.New(os.Stderr, "tpserved: ", log.LstdFlags),
+		})
+		if err != nil {
+			log.Fatalf("tpserved: %v", err)
+		}
+		opts.Cluster = cl
+		log.Printf("tpserved: cluster of %d shards, self=%s, %d replicas per entry",
+			len(cl.Stats().Members), *self, *replicas)
+	}
 	if *faultRate > 0 || *faultPanic > 0 || *faultLatency > 0 {
 		injector := fault.Wrap(nil, fault.Config{
 			Seed:  *faultSeed,
@@ -169,6 +219,9 @@ func main() {
 		log.Printf("tpserved: shutdown: %v", err)
 	}
 	svc.Close() // waits for in-flight runs and their write-behind store flushes
+	if cl != nil {
+		cl.Close() // waits for in-flight replication pushes
+	}
 	if st != nil {
 		if err := st.Close(); err != nil {
 			log.Printf("tpserved: store close: %v", err)

@@ -1,0 +1,113 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"timeprotection/internal/cluster/clustertest"
+	"timeprotection/internal/experiments"
+	"timeprotection/internal/hw"
+)
+
+// TestClusterByteIdentity is the cluster's core correctness claim: a
+// 3-shard cluster serves every registry artefact byte-identical to what
+// tpbench (PlanEntry.Output, the real drivers) produces, no matter
+// which shard the client happens to hit. Ownership is spread by the
+// ring, so the sweep exercises local computes, peer forwards and
+// post-forward cache hits — and because shards deduplicate through the
+// ring plus singleflight, the whole 3×17 sweep must run each driver
+// exactly once cluster-wide.
+func TestClusterByteIdentity(t *testing.T) {
+	tc := clustertest.Start(t, clustertest.Options{Nodes: 3})
+
+	// A small config keeps 17 real driver runs fast under -race; the
+	// identity claim is config-independent (both sides canonicalise the
+	// same way).
+	cfg := experiments.Config{
+		Platform:     hw.Haswell(),
+		Samples:      12,
+		Seed:         7,
+		SplashBlocks: 1,
+		Table8Slices: 1,
+	}
+	const params = "?platform=haswell&samples=12&seed=7&blocks=1&slices=1"
+
+	reg := experiments.Registry()
+	if len(reg) != 17 {
+		t.Fatalf("registry has %d artefacts, the paper reproduction ships 17", len(reg))
+	}
+
+	sources := map[string]int{}
+	for _, art := range reg {
+		entry := experiments.PlanEntry{Artefact: art, Config: cfg.Canonical()}
+		want, err := entry.Output()
+		if err != nil {
+			t.Fatalf("reference output %s: %v", art.Name, err)
+		}
+		for i := range tc.Nodes {
+			resp, body := tc.Get(i, "/v1/artefacts/"+art.Name+params)
+			if resp.StatusCode != 200 {
+				t.Fatalf("node%d %s: status %d: %s", i, art.Name, resp.StatusCode, body)
+			}
+			sources[resp.Header.Get("X-Cache")]++
+			if string(body) != want {
+				t.Errorf("node%d %s: body differs from tpbench output\n got %d bytes: %.80q\nwant %d bytes: %.80q",
+					i, art.Name, len(body), body, len(want), want)
+			}
+		}
+	}
+
+	// The sweep must have used the cluster: some requests landed on
+	// non-owners and took the forward path.
+	if sources["forward"] == 0 {
+		t.Errorf("no request was peer-forwarded (sources: %v) — ring routed everything locally", sources)
+	}
+	if sources["miss"]+sources["forward"]+sources["hit"]+sources["disk"] != 3*len(reg) {
+		t.Errorf("unexpected X-Cache values: %v", sources)
+	}
+
+	// Each artefact was computed exactly once cluster-wide: the ring
+	// concentrates each key on one owner and singleflight collapses the
+	// rest.
+	var runs uint64
+	for i, n := range tc.Nodes {
+		m := n.Service.Snapshot()
+		runs += m.DriverRuns
+		a := m.Artefacts
+		if a.Hits+a.Disk+a.Misses+a.Errors+a.Forwards != a.Requests {
+			t.Errorf("node%d ledger: hits=%d disk=%d misses=%d errors=%d forwards=%d != requests=%d",
+				i, a.Hits, a.Disk, a.Misses, a.Errors, a.Forwards, a.Requests)
+		}
+		if a.Errors != 0 {
+			t.Errorf("node%d served %d artefact errors during a healthy sweep", i, a.Errors)
+		}
+	}
+	if runs != uint64(len(reg)) {
+		t.Errorf("cluster ran drivers %d times for %d artefacts, want exactly one run each", runs, len(reg))
+	}
+}
+
+// TestClusterStatsExposeForwards: the /metricz cluster section reflects
+// the sweep — forwards counted on senders, received_forwards on owners.
+func TestClusterStatsExposeForwards(t *testing.T) {
+	tc := clustertest.Start(t, clustertest.Options{Nodes: 3})
+	// One artefact via every node: exactly 2 non-owner requests; the
+	// first forwards, the second may forward (origin hit) too.
+	for i := range tc.Nodes {
+		resp, body := tc.Get(i, "/v1/artefacts/table2?platform=haswell&samples=30&seed=11")
+		if resp.StatusCode != 200 {
+			t.Fatalf("node%d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	var forwards, received uint64
+	for _, n := range tc.Nodes {
+		st := n.Cluster.Stats()
+		forwards += st.Forwards
+		received += st.ReceivedForward
+		if st.Failovers != 0 {
+			t.Errorf("healthy cluster recorded %d failovers", st.Failovers)
+		}
+	}
+	if forwards != 2 || received != 2 {
+		t.Errorf("forwards=%d received_forwards=%d, want 2/2 (one owner, two forwarding peers)", forwards, received)
+	}
+}

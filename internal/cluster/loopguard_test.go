@@ -1,0 +1,86 @@
+package cluster_test
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"timeprotection/internal/cluster"
+	"timeprotection/internal/cluster/clustertest"
+	"timeprotection/internal/experiments"
+	"timeprotection/internal/service"
+)
+
+// TestForwardLoopGuard proves a misconfigured cluster cannot forward in
+// circles. Two nodes are booted with deliberately disagreeing rings
+// (different virtual-node counts — the kind of drift a bad rollout
+// produces): for some keys node 0 believes node 1 is the owner while
+// node 1 believes node 0 is. Without the loop guard a request for such
+// a key would bounce between them until something timed out; with it,
+// the second hop sees the forward header and serves locally — the
+// request degrades to one hop plus local compute and still returns the
+// right bytes.
+func TestForwardLoopGuard(t *testing.T) {
+	var computes atomic.Uint64
+	tc := clustertest.Start(t, clustertest.Options{
+		Nodes: 2,
+		Service: service.Options{
+			Parallel: 2,
+			Runner: func(e experiments.PlanEntry) (string, error) {
+				computes.Add(1)
+				return chaosBody(e), nil
+			},
+		},
+		ClusterConfigure: func(i int, o *cluster.Options) {
+			if i == 1 {
+				o.VirtualNodes = 32 // node 0 keeps the default 64: rings disagree
+			}
+		},
+	})
+
+	// Find a key with crossed ownership: each node points at the other.
+	crossed := int64(-1)
+	for seed := int64(0); seed < 500; seed++ {
+		k := chaosEntry(seed).CacheKey()
+		if tc.Nodes[0].Cluster.Owner(k) == tc.Nodes[1].Addr &&
+			tc.Nodes[1].Cluster.Owner(k) == tc.Nodes[0].Addr {
+			crossed = seed
+			break
+		}
+	}
+	if crossed < 0 {
+		t.Fatal("no crossed-ownership key in 500 seeds — rings agree too well to test the guard")
+	}
+
+	e := chaosEntry(crossed)
+	resp, body := tc.Get(0, chaosPath(crossed))
+	if resp.StatusCode != 200 || string(body) != chaosBody(e) {
+		t.Fatalf("crossed key via node0: status %d body %q", resp.StatusCode, body)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "forward" {
+		t.Fatalf("X-Cache = %q, want forward (node0 must take its one hop)", xc)
+	}
+	if origin := resp.Header.Get("X-Cluster-Origin-Cache"); origin != "miss" {
+		t.Errorf("origin cache = %q, want miss (node1 must compute locally, not bounce back)", origin)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Errorf("driver ran %d times, want exactly 1 (on the guarded second hop)", got)
+	}
+
+	s0, s1 := tc.Nodes[0].Cluster.Stats(), tc.Nodes[1].Cluster.Stats()
+	if s0.Forwards != 1 || s1.ReceivedForward != 1 {
+		t.Errorf("hop count: node0 forwards=%d, node1 received=%d, want 1/1", s0.Forwards, s1.ReceivedForward)
+	}
+	if s1.Forwards != 0 {
+		t.Errorf("node1 forwarded %d times — the loop guard failed to pin the second hop local", s1.Forwards)
+	}
+	if s0.ReceivedForward != 0 {
+		t.Errorf("node0 received %d forwards — the request bounced back", s0.ReceivedForward)
+	}
+
+	// The guard costs nothing next time: node 0 cached the forwarded
+	// bytes, so the same request is now a local hit.
+	resp, _ = tc.Get(0, chaosPath(crossed))
+	if xc := resp.Header.Get("X-Cache"); xc != "hit" {
+		t.Errorf("repeat X-Cache = %q, want hit", xc)
+	}
+}

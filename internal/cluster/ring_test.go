@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// corpus generates n content-address-shaped keys (hex SHA-256, exactly
+// what PlanEntry.CacheKey produces).
+func corpus(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("key-%d", i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+func members(n int) []string {
+	m := make([]string, n)
+	for i := range m {
+		m[i] = fmt.Sprintf("10.0.0.%d:8080", i+1)
+	}
+	return m
+}
+
+// TestRingExactlyOneOwner: every key resolves to exactly one member,
+// that member is in the set, and repeated lookups agree.
+func TestRingExactlyOneOwner(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 10} {
+		r := NewRing(members(n), 0)
+		valid := make(map[string]bool, n)
+		for _, m := range r.Members() {
+			valid[m] = true
+		}
+		for _, k := range corpus(10000) {
+			o := r.Owner(k)
+			if !valid[o] {
+				t.Fatalf("n=%d: owner %q of %q not a member", n, o, k)
+			}
+			if again := r.Owner(k); again != o {
+				t.Fatalf("n=%d: owner of %q unstable: %q then %q", n, k, o, again)
+			}
+			if succ := r.Successors(k, 1); len(succ) != 1 || succ[0] != o {
+				t.Fatalf("n=%d: Successors(k,1)=%v, owner=%q", n, succ, o)
+			}
+		}
+	}
+}
+
+// TestRingPermutationStable: the ring is configuration, not arrival
+// order — any permutation of the peer list places every key
+// identically.
+func TestRingPermutationStable(t *testing.T) {
+	base := members(7)
+	ref := NewRing(base, 0)
+	keys := corpus(10000)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r := NewRing(shuffled, 0)
+		for _, k := range keys {
+			if got, want := r.Owner(k), ref.Owner(k); got != want {
+				t.Fatalf("trial %d: owner of %q = %q, want %q (permutation changed placement)", trial, k, got, want)
+			}
+		}
+	}
+}
+
+// TestRingMembershipChangeRemapsFewKeys: consistent hashing's defining
+// property — adding or removing one node of N remaps roughly 1/N of
+// the key space, never a full reshuffle. The assertion bound is 2/N
+// over a 10k-key corpus (double the expectation, far below the ~100%
+// a modulo-hash scheme would remap).
+func TestRingMembershipChangeRemapsFewKeys(t *testing.T) {
+	keys := corpus(10000)
+	for _, n := range []int{3, 5, 10} {
+		m := members(n)
+		before := NewRing(m, 0)
+
+		grown := NewRing(append(append([]string(nil), m...), "10.0.1.1:8080"), 0)
+		moved := 0
+		for _, k := range keys {
+			if before.Owner(k) != grown.Owner(k) {
+				moved++
+			}
+		}
+		if bound := 2 * len(keys) / n; moved > bound {
+			t.Errorf("adding 1 node to %d remapped %d/%d keys, want <= %d", n, moved, len(keys), bound)
+		}
+		if moved == 0 {
+			t.Errorf("adding 1 node to %d remapped nothing — new node owns no keys", n)
+		}
+
+		shrunk := NewRing(m[:n-1], 0)
+		moved = 0
+		lost := 0
+		for _, k := range keys {
+			o := before.Owner(k)
+			if o == m[n-1] {
+				lost++ // keys of the removed node must move
+				continue
+			}
+			if shrunk.Owner(k) != o {
+				moved++
+			}
+		}
+		if moved != 0 {
+			t.Errorf("removing 1 node of %d remapped %d keys owned by survivors, want 0", n, moved)
+		}
+		if lost == 0 {
+			t.Errorf("removed node of %d owned no keys in a 10k corpus", n)
+		}
+	}
+}
+
+// TestRingSuccessorsDistinct: the failover/replica chain lists each
+// member once, starts at the owner, and can cover the whole ring.
+func TestRingSuccessorsDistinct(t *testing.T) {
+	r := NewRing(members(5), 0)
+	for _, k := range corpus(500) {
+		succ := r.Successors(k, 5)
+		if len(succ) != 5 {
+			t.Fatalf("Successors(k,5) = %d members, want all 5", len(succ))
+		}
+		seen := make(map[string]bool)
+		for _, m := range succ {
+			if seen[m] {
+				t.Fatalf("Successors(%q) repeats %q: %v", k, m, succ)
+			}
+			seen[m] = true
+		}
+		if succ[0] != r.Owner(k) {
+			t.Fatalf("Successors(%q)[0] = %q, owner = %q", k, succ[0], r.Owner(k))
+		}
+		// Asking for more than the ring holds caps at the ring.
+		if got := r.Successors(k, 99); len(got) != 5 {
+			t.Fatalf("Successors(k,99) = %d members, want 5", len(got))
+		}
+	}
+}
+
+// TestRingBalance: with default virtual nodes, no member owns a wildly
+// disproportionate share (guards against a degenerate hash).
+func TestRingBalance(t *testing.T) {
+	n := 4
+	r := NewRing(members(n), 0)
+	count := make(map[string]int)
+	keys := corpus(10000)
+	for _, k := range keys {
+		count[r.Owner(k)]++
+	}
+	for m, c := range count {
+		share := float64(c) / float64(len(keys))
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("member %s owns %.1f%% of keys (want within [10%%, 45%%] of a 4-way split)", m, 100*share)
+		}
+	}
+	if len(count) != n {
+		t.Errorf("only %d of %d members own keys", len(count), n)
+	}
+}
+
+// TestRingDegenerateInputs: duplicates collapse, empties drop, the
+// empty ring owns nothing.
+func TestRingDegenerateInputs(t *testing.T) {
+	r := NewRing([]string{"a:1", "a:1", "", "b:1"}, 8)
+	if r.Len() != 2 {
+		t.Fatalf("ring of [a a \"\" b] has %d members, want 2", r.Len())
+	}
+	empty := NewRing(nil, 0)
+	if o := empty.Owner("k"); o != "" {
+		t.Fatalf("empty ring owns %q", o)
+	}
+	if s := empty.Successors("k", 3); s != nil {
+		t.Fatalf("empty ring successors = %v", s)
+	}
+}
+
+// FuzzRingProperties: for arbitrary keys and member counts, ownership
+// is unique, permutation-stable, and the successor chain is distinct.
+func FuzzRingProperties(f *testing.F) {
+	f.Add("deadbeef", uint8(3))
+	f.Add("", uint8(1))
+	f.Add("0a1b2c3d4e5f60718293a4b5c6d7e8f90a1b2c3d4e5f60718293a4b5c6d7e8f9", uint8(9))
+	f.Fuzz(func(t *testing.T, key string, n uint8) {
+		count := int(n%16) + 1
+		m := members(count)
+		r := NewRing(m, 0)
+		owner := r.Owner(key)
+		found := false
+		for _, mm := range r.Members() {
+			if mm == owner {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("owner %q not in members", owner)
+		}
+		rev := make([]string, count)
+		for i, mm := range m {
+			rev[count-1-i] = mm
+		}
+		if got := NewRing(rev, 0).Owner(key); got != owner {
+			t.Fatalf("reversed member list moved %q: %q vs %q", key, got, owner)
+		}
+		succ := r.Successors(key, count)
+		if len(succ) != count || succ[0] != owner {
+			t.Fatalf("successors = %v (owner %q)", succ, owner)
+		}
+		seen := make(map[string]bool)
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("duplicate successor %q in %v", s, succ)
+			}
+			seen[s] = true
+		}
+	})
+}

@@ -1,12 +1,14 @@
 // Package fault provides deterministic, seed-driven fault injection for
-// the serving stack. A Runner wraps the service's driver function and,
-// per invocation, may return an injected error, panic, or add latency
-// before delegating — with probabilities configurable globally and per
-// artefact. Decisions are drawn from a splitmix64 stream keyed by
-// (seed, artefact, per-artefact attempt number), so a given seed
-// reproduces the exact same fault sequence for every artefact no matter
-// how goroutines interleave: CI chaos runs are stable, and any failure
-// can be replayed from its seed.
+// the serving stack, plus the shared failure-handling policy the stack
+// answers faults with (Breaker, used per artefact by internal/service
+// and per peer by internal/cluster). A Runner wraps the service's
+// driver function and, per invocation, may return an injected error,
+// panic, or add latency before delegating — with probabilities
+// configurable globally and per artefact. Decisions are drawn from a
+// splitmix64 stream keyed by (seed, artefact, per-artefact attempt
+// number), so a given seed reproduces the exact same fault sequence for
+// every artefact no matter how goroutines interleave: CI chaos runs are
+// stable, and any failure can be replayed from its seed.
 package fault
 
 import (

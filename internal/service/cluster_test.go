@@ -1,0 +1,144 @@
+package service
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+
+	"timeprotection/internal/cluster"
+	"timeprotection/internal/experiments"
+	"timeprotection/internal/hw"
+)
+
+// TestSheddingExemptsPeerTraffic: load shedding counts each request at
+// its entry shard only. A forwarded request already consumed an
+// in-flight slot on the shard that forwarded it; shedding it again at
+// the owner would double-penalise cluster traffic and turn one
+// overloaded shard into cluster-wide 503s.
+func TestSheddingExemptsPeerTraffic(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	runner := func(e experiments.PlanEntry) (string, error) {
+		if e.Artefact.Name == "table3" {
+			entered <- struct{}{}
+			<-release
+		}
+		return "body " + e.CanonicalKey() + "\n", nil
+	}
+	s, ts := newTestServer(t, Options{Parallel: 2, MaxInflight: 1, Runner: runner})
+
+	// Warm table2 so the exempted requests below are cache hits that
+	// need no pool slot.
+	if resp, _ := get(t, ts.URL+"/v1/artefacts/table2?samples=30"); resp.StatusCode != 200 {
+		t.Fatalf("warmup status %d", resp.StatusCode)
+	}
+
+	// Occupy the single in-flight slot with a request blocked in its
+	// driver.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(ts.URL + "/v1/artefacts/table3?samples=30")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+
+	// A plain client request beyond the cap is shed...
+	resp, _ := get(t, ts.URL+"/v1/artefacts/table2?samples=30")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("plain request at cap: status %d, want 503", resp.StatusCode)
+	}
+
+	// ...but the same request arriving as a peer forward is not: the
+	// originating shard already counted this hop.
+	req, err := http.NewRequest("GET", ts.URL+"/v1/artefacts/table2?samples=30", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.ForwardHeader, "1")
+	fresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("forwarded request: %v", err)
+	}
+	fresp.Body.Close()
+	if fresp.StatusCode != 200 {
+		t.Errorf("forwarded request at cap: status %d, want 200 (exempt from shedding)", fresp.StatusCode)
+	}
+
+	// The internal cluster endpoints bypass the cap too.
+	entry := experiments.PlanEntry{
+		Artefact: mustArtefact(t, "table2"),
+		Config:   experiments.Config{Platform: hw.Haswell(), Samples: 30}.Canonical(),
+	}
+	eresp, _ := get(t, ts.URL+cluster.EntryPath+"?"+cluster.EntryQuery(entry).Encode())
+	if eresp.StatusCode != 200 {
+		t.Errorf("cluster entry endpoint at cap: status %d, want 200", eresp.StatusCode)
+	}
+
+	close(release)
+	<-done
+
+	m := s.Snapshot()
+	if m.Requests.Shed != 1 {
+		t.Errorf("shed %d requests, want exactly the 1 plain one", m.Requests.Shed)
+	}
+}
+
+func mustArtefact(t *testing.T, name string) experiments.Artefact {
+	t.Helper()
+	a, ok := experiments.LookupArtefact(name)
+	if !ok {
+		t.Fatalf("artefact %q not in registry", name)
+	}
+	return a
+}
+
+// TestEntryQueryRoundTrip: cluster.EntryQuery and the internal entry
+// handler are two halves of one wire format. For every entry shape the
+// planner can produce — platform-bound, global, check, explicit seed 0,
+// metrics on, sabre — the receiving shard must reconstruct an entry
+// with the identical CanonicalKey, or forwarder and owner would cache
+// the same bytes under different addresses.
+func TestEntryQueryRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var ran []string
+	runner := func(e experiments.PlanEntry) (string, error) {
+		mu.Lock()
+		ran = append(ran, e.CanonicalKey())
+		mu.Unlock()
+		return "body " + e.CanonicalKey() + "\n", nil
+	}
+	_, ts := newTestServer(t, Options{Parallel: 2, Runner: runner})
+
+	entries := []experiments.PlanEntry{
+		{Artefact: mustArtefact(t, "table2"),
+			Config: experiments.Config{Platform: hw.Haswell(), Samples: 30, Seed: 0}.Canonical()},
+		{Artefact: mustArtefact(t, "table8"),
+			Config: experiments.Config{Platform: hw.Sabre(), Samples: 20, Seed: 5, SplashBlocks: 3, Table8Slices: 2}.Canonical()},
+		{Artefact: mustArtefact(t, "table1"),
+			Config: experiments.Config{}.Canonical()},
+		{Check: true,
+			Config: experiments.Config{Platform: hw.Haswell(), Samples: 30}.Canonical()},
+		{Artefact: mustArtefact(t, "figure3"),
+			Config: experiments.Config{Platform: hw.Haswell(), Samples: 25, Metrics: true}.Canonical()},
+	}
+	for _, e := range entries {
+		url := ts.URL + cluster.EntryPath + "?" + cluster.EntryQuery(e).Encode()
+		resp, body := get(t, url)
+		if resp.StatusCode != 200 {
+			t.Errorf("%s: status %d: %s", e.JobName(), resp.StatusCode, body)
+			continue
+		}
+		if want := "body " + e.CanonicalKey() + "\n"; body != want {
+			t.Errorf("%s: served %q, want %q — wire format does not round-trip the canonical key",
+				e.JobName(), body, want)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(ran) != len(entries) {
+		t.Errorf("runner saw %d entries, want %d", len(ran), len(entries))
+	}
+}

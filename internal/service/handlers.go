@@ -3,11 +3,13 @@ package service
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 
+	"timeprotection/internal/cluster"
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/hw"
 	"timeprotection/internal/store"
@@ -19,6 +21,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/artefacts", s.handleList)
 	s.mux.HandleFunc("GET /v1/artefacts/{name}", s.handleArtefact)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRuns)
+	s.mux.HandleFunc("GET "+cluster.EntryPath, s.handleClusterEntry)
+	s.mux.HandleFunc("PUT "+cluster.ReplicaPathPrefix+"{key}", s.handleClusterReplica)
+}
+
+// isForwarded reports whether a request already took its peer hop: it
+// carries the cluster loop-guard header, so it is served locally no
+// matter what this shard's ring says (and is exempt from load shedding
+// — the originating shard already counted it).
+func isForwarded(r *http.Request) bool {
+	return r.Header.Get(cluster.ForwardHeader) != ""
 }
 
 func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
@@ -37,9 +49,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // Store is present only when a durable store is configured and is
 // itself a single-lock-consistent snapshot.
 type Metrics struct {
-	Cache        CacheStats    `json:"cache"`
-	Store        *store.Stats  `json:"store,omitempty"`
-	Artefacts    ArtefactStats `json:"artefacts"`
+	Cache        CacheStats     `json:"cache"`
+	Store        *store.Stats   `json:"store,omitempty"`
+	Cluster      *cluster.Stats `json:"cluster,omitempty"`
+	Artefacts    ArtefactStats  `json:"artefacts"`
 	Singleflight struct {
 		Shared uint64 `json:"shared"`
 		Panics uint64 `json:"panics"`
@@ -64,6 +77,10 @@ func (s *Server) Snapshot() Metrics {
 	if st := s.opts.Store; st != nil {
 		stats := st.Stats()
 		m.Store = &stats
+	}
+	if cl := s.opts.Cluster; cl != nil {
+		stats := cl.Stats()
+		m.Cluster = &stats
 	}
 	m.Artefacts = s.disp.snapshot()
 	m.Singleflight.Shared = s.flights.Shared()
@@ -195,14 +212,104 @@ func (s *Server) handleArtefact(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
 	defer cancel()
-	body, src, err := s.result(ctx, entry, false)
+	body, src, origin, err := s.result(ctx, entry, false, isForwarded(r))
 	if err != nil {
 		s.fail(w, httpStatusFor(err), "%s: %v", entry.JobName(), err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("X-Cache", src) // hit | disk | miss
+	w.Header().Set("X-Cache", src) // hit | disk | miss | forward
+	if origin != "" {
+		// How the owning shard served the forwarded request.
+		w.Header().Set("X-Cluster-Origin-Cache", origin)
+	}
 	w.Write(body)
+}
+
+// handleClusterEntry is the peer read-through endpoint: the forwarding
+// shard encodes a plan entry as query parameters (cluster.EntryQuery)
+// and this shard answers through its local cache/store/compute path.
+// The response is always served locally — this is by definition the
+// second hop, so it never forwards again even if this shard's ring
+// disagrees about the owner.
+func (s *Server) handleClusterEntry(w http.ResponseWriter, r *http.Request) {
+	if cl := s.opts.Cluster; cl != nil {
+		cl.NoteForwardReceived()
+	}
+	q := r.URL.Query()
+	cfg, err := parseConfig(q.Get)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	check := q.Get("check") == "1"
+	var art experiments.Artefact
+	if !check {
+		var ok bool
+		art, ok = experiments.LookupArtefact(q.Get("artefact"))
+		if !ok {
+			s.fail(w, http.StatusNotFound, "unknown artefact %q", q.Get("artefact"))
+			return
+		}
+	}
+	plat, ok := hw.PlatformByName(q.Get("platform"))
+	if !ok {
+		s.fail(w, http.StatusBadRequest, "unknown platform %q", q.Get("platform"))
+		return
+	}
+	if !check && !art.SupportsPlatform(plat) {
+		s.fail(w, http.StatusBadRequest, "artefact %q not available on %q", art.Name, plat.Name)
+		return
+	}
+	cfg.Platform = plat
+	entry := experiments.PlanEntry{Artefact: art, Check: check, Config: cfg.Canonical()}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	body, src, _, err := s.result(ctx, entry, false, true)
+	if err != nil {
+		status := httpStatusFor(err)
+		if errors.Is(err, experiments.ErrCheckFailed) {
+			// A failed check is a correct, deterministic verdict — report
+			// it as a client-class status so the forwarding shard does not
+			// count this shard as unhealthy before reproducing the verdict
+			// locally.
+			status = http.StatusUnprocessableEntity
+		}
+		s.fail(w, status, "%s: %v", entry.JobName(), err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Cache", src) // the forwarding shard reports it as origin
+	w.Write(body)
+}
+
+// handleClusterReplica accepts an owner's write-behind replication PUT:
+// the computed body lands in this shard's durable store (or, without a
+// store, its memory cache) so the entry survives the owner's death and
+// the ring successor serves it as X-Cache: disk after failover. Peers
+// are in one trust domain; the key is validated by the store, and a
+// body that does not match its key only wastes one cache slot — reads
+// re-verify content hashes on the store path.
+func (s *Server) handleClusterReplica(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "replica body: %v", err)
+		return
+	}
+	if st := s.opts.Store; st != nil {
+		if err := st.Put(key, body); err != nil {
+			s.fail(w, http.StatusBadRequest, "replica put: %v", err)
+			return
+		}
+	} else {
+		s.cache.Put(key, body)
+	}
+	if cl := s.opts.Cluster; cl != nil {
+		cl.NoteReplicaReceived()
+	}
+	w.WriteHeader(http.StatusNoContent)
 }
 
 // RunRequest is the POST /v1/runs body: a JSON rendering of
@@ -286,12 +393,13 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	// though every entry succeeds individually; client disconnect still
 	// cancels all entries via r.Context().
 	jobs := make([]experiments.Job, len(entries))
+	forwarded := isForwarded(r)
 	for i, e := range entries {
 		e := e
 		jobs[i] = experiments.Job{Name: e.JobName(), Run: func() (string, error) {
 			ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
 			defer cancel()
-			body, _, err := s.result(ctx, e, true)
+			body, _, _, err := s.result(ctx, e, true, forwarded)
 			return string(body), err
 		}}
 	}

@@ -4,6 +4,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"timeprotection/internal/cluster"
 )
 
 // Handler returns the root HTTP handler: request counting, load
@@ -29,9 +31,16 @@ func (s *Server) Handler() http.Handler {
 // serveShedding rejects work beyond the in-flight cap with 503 before
 // it reaches the mux — overload answers fast instead of queueing
 // everyone into timeouts. /healthz bypasses the cap so liveness probes
-// keep answering while the server sheds.
+// keep answering while the server sheds. Peer-forwarded requests and
+// internal cluster traffic bypass it too: the originating shard already
+// counted the hop against its own in-flight cap, and shedding it again
+// here would double-penalise cluster traffic relative to direct
+// traffic (and turn one overloaded shard's forwards into another
+// shard's 503s). Peers share a trust domain — a client spoofing the
+// forward header is merely opting out of fair shedding on a service
+// that will still bound it by pool queue backpressure.
 func (s *Server) serveShedding(w http.ResponseWriter, r *http.Request) {
-	if max := s.opts.MaxInflight; max > 0 && r.URL.Path != "/healthz" {
+	if max := s.opts.MaxInflight; max > 0 && r.URL.Path != "/healthz" && !isPeerTraffic(r) {
 		if s.inflight.Add(1) > int64(max) {
 			s.inflight.Add(-1)
 			s.shed.Add(1)
@@ -43,6 +52,15 @@ func (s *Server) serveShedding(w http.ResponseWriter, r *http.Request) {
 		defer s.inflight.Add(-1)
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// isPeerTraffic reports whether a request is intra-cluster: a
+// loop-guarded forward from a peer shard, or a hit on the internal
+// cluster endpoints (read-through and replication).
+func isPeerTraffic(r *http.Request) bool {
+	return isForwarded(r) ||
+		r.URL.Path == cluster.EntryPath ||
+		strings.HasPrefix(r.URL.Path, cluster.ReplicaPathPrefix)
 }
 
 // artefactOf extracts the artefact name from a request path for the

@@ -31,9 +31,19 @@ import (
 	"sync/atomic"
 	"time"
 
+	"timeprotection/internal/cluster"
 	"timeprotection/internal/experiments"
+	"timeprotection/internal/fault"
 	"timeprotection/internal/store"
 )
+
+// ErrCircuitOpen is the per-artefact circuit-breaker fast-fail; the
+// breaker itself lives in internal/fault since the cluster layer reuses
+// it per peer. Handlers translate it into 503 Service Unavailable.
+var ErrCircuitOpen = fault.ErrCircuitOpen
+
+// BreakerStats re-exports the breaker's /metricz snapshot type.
+type BreakerStats = fault.BreakerStats
 
 // ErrRunnerPanic marks a driver panic that was recovered and converted
 // to an error; handlers translate it into 500 like any other runner
@@ -84,6 +94,17 @@ type Options struct {
 	// the store's lifecycle; close it after Server.Close so the drain's
 	// write-behind flushes land.
 	Store *store.Store
+	// Cluster, when non-nil, shards the content-addressed key space
+	// across peers (tpserved -peers/-self): a request whose key is
+	// owned by a healthy peer is forwarded there (peer read-through,
+	// X-Cache: forward) instead of computed locally, and every locally
+	// computed entry is replicated write-behind to the key's ring
+	// successors. A forward that fails degrades to local compute — the
+	// drivers are deterministic, so the cluster can never make a
+	// request fail that a single daemon would have served. The caller
+	// owns the cluster's lifecycle; close it after Server.Close so the
+	// drain's replication pushes land.
+	Cluster *cluster.Cluster
 	// Runner computes one plan entry's output. Nil selects the real
 	// drivers (PlanEntry.Output); tests inject counting, blocking or
 	// fault-injecting runners.
@@ -126,9 +147,10 @@ func (o Options) withDefaults() Options {
 
 // Cache-source values result reports and X-Cache carries.
 const (
-	srcHit  = "hit"  // served from the in-memory cache
-	srcDisk = "disk" // served from the durable store
-	srcMiss = "miss" // computed by a driver run
+	srcHit     = "hit"     // served from the in-memory cache
+	srcDisk    = "disk"    // served from the durable store
+	srcMiss    = "miss"    // computed by a driver run
+	srcForward = "forward" // served by the key's owning shard (peer read-through)
 )
 
 // Server owns the cache, singleflight group, worker pool and circuit
@@ -138,7 +160,7 @@ type Server struct {
 	cache   *Cache
 	flights flightGroup
 	pool    *Pool
-	breaker *breaker
+	breaker *fault.Breaker
 	mux     *http.ServeMux
 
 	// fills tracks in-flight write-behind store flushes (and nothing
@@ -172,6 +194,7 @@ type ArtefactStats struct {
 	Disk     uint64 `json:"disk"`     // served from the durable store
 	Misses   uint64 `json:"misses"`   // computed by a driver run
 	Errors   uint64 `json:"errors"`   // terminated with an error
+	Forwards uint64 `json:"forwards"` // served by the owning shard (peer read-through)
 }
 
 // dispositions counts terminal artefact-request outcomes under a single
@@ -194,6 +217,8 @@ func (d *dispositions) record(src string, err error) {
 		d.s.Hits++
 	case src == srcDisk:
 		d.s.Disk++
+	case src == srcForward:
+		d.s.Forwards++
 	default:
 		d.s.Misses++
 	}
@@ -213,7 +238,7 @@ func New(opts Options) *Server {
 	s := &Server{opts: opts.withDefaults()}
 	s.cache = NewCache(s.opts.CacheEntries)
 	s.pool = NewPool(s.opts.Parallel, s.opts.Queue)
-	s.breaker = newBreaker(s.opts.BreakerThreshold, s.opts.BreakerCooldown)
+	s.breaker = fault.NewBreaker(s.opts.BreakerThreshold, s.opts.BreakerCooldown)
 	s.mux = http.NewServeMux()
 	s.routes()
 	return s
@@ -296,6 +321,7 @@ func (s *Server) runWithRetry(e experiments.PlanEntry, key, art string) ([]byte,
 	case err == nil:
 		s.cache.Put(key, body)
 		s.flushBehind(key, body)
+		s.replicateBehind(key, body)
 		s.breaker.Success(art)
 	case errors.Is(err, experiments.ErrCheckFailed):
 		// A failed check is a correct run reporting its verdict — not a
@@ -325,33 +351,63 @@ func (s *Server) flushBehind(key string, body []byte) {
 	}()
 }
 
-// result serves one plan entry through cache, store, breaker,
+// replicateBehind pushes a computed body to the key's ring successors
+// when clustering is on (write-behind; the cluster tracks the pushes
+// and its Close drains them). Whichever shard computed the entry
+// replicates it — normally the owner; after a failover, the shard that
+// absorbed the key.
+func (s *Server) replicateBehind(key string, body []byte) {
+	if cl := s.opts.Cluster; cl != nil {
+		cl.Replicate(key, body)
+	}
+}
+
+// result serves one plan entry through cache, store, cluster, breaker,
 // singleflight and the worker pool, recording the terminal disposition
 // in the consistent ledger. block selects blocking queue admission
 // (batch runs that were already admitted) over fail-fast 429
-// backpressure (interactive requests). The returned source is one of
-// srcHit (memory), srcDisk (durable store) or srcMiss (computed).
-func (s *Server) result(ctx context.Context, e experiments.PlanEntry, block bool) (body []byte, src string, err error) {
-	body, src, err = s.lookupOrCompute(ctx, e, block)
+// backpressure (interactive requests). forwarded marks a request that
+// already took its peer hop (it carried cluster.ForwardHeader): it is
+// never forwarded again, which is the loop guard — two shards with
+// disagreeing rings degrade to local compute instead of ping-ponging.
+// The returned source is srcHit (memory), srcDisk (durable store),
+// srcForward (peer read-through; origin carries how the owner served
+// it) or srcMiss (computed).
+func (s *Server) result(ctx context.Context, e experiments.PlanEntry, block, forwarded bool) (body []byte, src, origin string, err error) {
+	body, src, origin, err = s.lookupOrCompute(ctx, e, block, forwarded)
 	s.disp.record(src, err)
-	return body, src, err
+	return body, src, origin, err
 }
 
-func (s *Server) lookupOrCompute(ctx context.Context, e experiments.PlanEntry, block bool) ([]byte, string, error) {
+func (s *Server) lookupOrCompute(ctx context.Context, e experiments.PlanEntry, block, forwarded bool) ([]byte, string, string, error) {
 	key := ContentKey(entryKey(e))
 	if body, ok := s.cache.Get(key); ok {
-		return body, srcHit, nil
+		return body, srcHit, "", nil
 	}
 	if st := s.opts.Store; st != nil {
 		if body, ok := st.Get(key); ok {
 			// Read-through promotion: the fast tier absorbs repeats.
 			s.cache.Put(key, body)
-			return body, srcDisk, nil
+			return body, srcDisk, "", nil
+		}
+	}
+	if cl := s.opts.Cluster; cl != nil && !forwarded {
+		if target := cl.Route(key); target != cl.Self() {
+			if body, origin, err := cl.FetchEntry(ctx, target, e); err == nil {
+				// Promote: results are deterministic and immutable, so a
+				// forwarded copy is as authoritative as a computed one.
+				s.cache.Put(key, body)
+				return body, srcForward, origin, nil
+			}
+			// Failover: the owner was routable but the hop failed (its
+			// breaker is now counting); compute locally instead — the
+			// cluster never turns a servable request into an error.
+			cl.Failover()
 		}
 	}
 	art := artefactName(e)
 	if err := s.breaker.Allow(art); err != nil {
-		return nil, srcMiss, err
+		return nil, srcMiss, "", err
 	}
 	body, err, _ := s.flights.Do(key, func() ([]byte, error) {
 		// Re-check under the flight: a previous flight may have filled
@@ -388,7 +444,7 @@ func (s *Server) lookupOrCompute(ctx context.Context, e experiments.PlanEntry, b
 			return nil, ctx.Err()
 		}
 	})
-	return body, srcMiss, err
+	return body, srcMiss, "", err
 }
 
 // httpStatusFor maps compute errors onto response codes.

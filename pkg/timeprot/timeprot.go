@@ -17,6 +17,14 @@
 // Defaults: Haswell platform, time protection on, 150 samples, seed 42,
 // two domains. Seed 42 is an option-declaration default — WithSeed(0)
 // selects the genuine seed 0.
+//
+// For programs that want results rather than measurements, the daemon
+// front-end (cmd/tpserved) serves every registry artefact over
+// HTTP/JSON, byte-identical to cmd/tpbench for the same config, with
+// caching, durable storage and — via -peers/-self — consistent-hash
+// sharding across a statically-membered cluster. This package stays a
+// single-process measurement API; the serving and clustering layers
+// live behind the daemon, not behind Go symbols.
 package timeprot
 
 import (
