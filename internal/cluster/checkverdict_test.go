@@ -1,0 +1,105 @@
+package cluster_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"timeprotection/internal/cluster/clustertest"
+	"timeprotection/internal/experiments"
+	"timeprotection/internal/hw"
+	"timeprotection/internal/service"
+)
+
+// TestForwardedCheckVerdict: a failing security check is a correct,
+// deterministic result, not a peer fault. When a check key's owner is a
+// peer, the forwarding shard must adopt the owner's rendered verdict
+// (one check run, on the owner) instead of treating the 422 as a failed
+// hop and recomputing locally — and the hop must count as a forward
+// hit, not a forward failure, so per-peer health metrics stay honest
+// and the peer's breaker never opens on a verdict.
+func TestForwardedCheckVerdict(t *testing.T) {
+	const verdicts = "Security verdicts, haswell:\nstub table\nCHECK FAILED\n"
+	computes := make([]*atomic.Uint64, 2)
+	tc := clustertest.Start(t, clustertest.Options{
+		Nodes:   2,
+		Service: service.Options{Parallel: 2},
+		Configure: func(i int, addr string, o *service.Options) {
+			n := &atomic.Uint64{}
+			computes[i] = n
+			o.Runner = func(e experiments.PlanEntry) (string, error) {
+				n.Add(1)
+				if e.Check {
+					return verdicts, experiments.ErrCheckFailed
+				}
+				return chaosBody(e), nil
+			}
+		},
+	})
+
+	// The exact entry a {"platforms":["haswell"],"check":true} run
+	// expands to, rebuilt here to find its ring owner.
+	entries := experiments.Expand(experiments.PlanSpec{
+		Platforms: []hw.Platform{hw.Haswell()},
+		Base:      experiments.Config{Seed: 42}.Canonical(),
+		Check:     true,
+	})
+	if len(entries) != 1 || !entries[0].Check {
+		t.Fatalf("plan = %v, want exactly the haswell check entry", entries)
+	}
+	owner := tc.OwnerIndex(entries[0].CacheKey())
+	forwarder := 1 - owner
+
+	post := func(node int) string {
+		t.Helper()
+		resp, err := http.Post(tc.URL(node, "/v1/runs"), "application/json",
+			strings.NewReader(`{"platforms":["haswell"],"check":true}`))
+		if err != nil {
+			t.Fatalf("POST /v1/runs to node%d: %v", node, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("read /v1/runs from node%d: %v", node, err)
+		}
+		return string(body)
+	}
+
+	viaForwarder := post(forwarder)
+	if !strings.Contains(viaForwarder, "CHECK FAILED") {
+		t.Errorf("forwarded check run lost the verdict table:\n%s", viaForwarder)
+	}
+	if !strings.Contains(viaForwarder, experiments.ErrCheckFailed.Error()) {
+		t.Errorf("forwarded check run lost the error line:\n%s", viaForwarder)
+	}
+	if got := computes[owner].Load(); got != 1 {
+		t.Errorf("owner ran the check %d times, want 1", got)
+	}
+	if got := computes[forwarder].Load(); got != 0 {
+		t.Errorf("forwarding shard recomputed the verdict %d times, want 0 — the 422 must carry it", got)
+	}
+
+	st := tc.Nodes[forwarder].Cluster.Stats()
+	if st.Forwards != 1 || st.Failovers != 0 {
+		t.Errorf("forwarder cluster stats: forwards=%d failovers=%d, want 1 forward, 0 failovers", st.Forwards, st.Failovers)
+	}
+	for _, p := range st.Peers {
+		if p.ForwardFails != 0 {
+			t.Errorf("peer %s: %d forward failures recorded for a deterministic verdict", p.Addr, p.ForwardFails)
+		}
+		if p.ForwardHits != p.Forwards {
+			t.Errorf("peer %s: %d hits of %d forwards — verdict hops must count as hits", p.Addr, p.ForwardHits, p.Forwards)
+		}
+		if !p.Alive {
+			t.Errorf("peer %s marked down by a verdict — its breaker must not open", p.Addr)
+		}
+	}
+
+	// Byte-identity across entry points: the owner's local run renders
+	// exactly what the forwarding shard served.
+	if viaOwner := post(owner); viaOwner != viaForwarder {
+		t.Errorf("check run differs by entry shard:\nowner:     %q\nforwarder: %q", viaOwner, viaForwarder)
+	}
+}

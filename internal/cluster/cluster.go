@@ -38,6 +38,14 @@ const EntryPath = "/v1/cluster/entry"
 // owner PUTs computed bodies to ReplicaPathPrefix+key on each replica.
 const ReplicaPathPrefix = "/v1/cluster/entries/"
 
+// CheckFailedHeader marks a 422 response from the internal entry
+// endpoint as a deterministic failed-check verdict rather than a peer
+// fault: the body carries the rendered verdict table, and the
+// forwarding shard reconstructs (body, experiments.ErrCheckFailed) —
+// the same result a local run yields — instead of recomputing the
+// checks and counting the hop as a forward failure.
+const CheckFailedHeader = "X-TP-Check-Failed"
+
 // Options configures a Cluster. Self and Peers are required; everything
 // else has serving-friendly defaults.
 type Options struct {
@@ -63,8 +71,8 @@ type Options struct {
 	ProbeTimeout time.Duration
 	// BreakerThreshold opens a peer's circuit after that many
 	// consecutive forward/replication failures (default 1: the first
-	// failed hop marks the peer down for BreakerCooldown). 0 keeps the
-	// per-peer breaker disabled — probes alone gate routing.
+	// failed hop marks the peer down for BreakerCooldown). A negative
+	// value disables the per-peer breaker — probes alone gate routing.
 	BreakerThreshold int
 	// BreakerCooldown is how long an open peer circuit routes around the
 	// peer before a half-open retry (default 3s). A successful probe
@@ -88,8 +96,11 @@ func (o Options) withDefaults() Options {
 	if o.ProbeTimeout <= 0 {
 		o.ProbeTimeout = time.Second
 	}
-	if o.BreakerThreshold < 0 {
-		o.BreakerThreshold = 0
+	switch {
+	case o.BreakerThreshold == 0:
+		o.BreakerThreshold = 1 // the documented default, not "disabled"
+	case o.BreakerThreshold < 0:
+		o.BreakerThreshold = 0 // fault.Breaker treats 0 as disabled
 	}
 	if o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = 3 * time.Second
@@ -296,8 +307,11 @@ func EntryQuery(e experiments.PlanEntry) url.Values {
 // fetches of the same key (singleflight at the forwarding hop — the
 // owning shard's own singleflight is the second hop's collapse). origin
 // reports how the target served it (its X-Cache: hit, disk or miss). A
-// transport error or 5xx counts against the peer's circuit breaker;
-// the caller falls back to local compute.
+// transport error or 5xx counts against the peer's circuit breaker and
+// the caller falls back to local compute. A failed security check is
+// neither: the target marks it with CheckFailedHeader and FetchEntry
+// returns the rendered verdicts alongside experiments.ErrCheckFailed,
+// which the caller serves as the (correct, deterministic) result.
 func (c *Cluster) FetchEntry(ctx context.Context, target string, e experiments.PlanEntry) (body []byte, origin string, err error) {
 	key := e.CacheKey()
 	body, origin, err, shared := c.flights.do(key, func() ([]byte, string, error) {
@@ -332,6 +346,22 @@ func (c *Cluster) fetchOnce(ctx context.Context, target string, e experiments.Pl
 		return nil, "", fmt.Errorf("forward to %s: %w", target, err)
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusUnprocessableEntity && resp.Header.Get(CheckFailedHeader) == "1" {
+		// The owner reproduced a failing security check: a correct,
+		// deterministic verdict, not a peer fault. Hand the rendered
+		// verdicts back with the sentinel so the caller serves them
+		// without recomputing, and settle the breaker as a success —
+		// the hop itself worked.
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			pc.forwardFails.Add(1)
+			c.peerFailed(target, err)
+			return nil, "", fmt.Errorf("forward to %s: %w", target, err)
+		}
+		c.brk.Success(target)
+		pc.forwardHits.Add(1)
+		return body, resp.Header.Get("X-Cache"), experiments.ErrCheckFailed
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		err := fmt.Errorf("forward to %s: %s: %s", target, resp.Status, msg)

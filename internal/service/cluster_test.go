@@ -2,6 +2,7 @@ package service
 
 import (
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 
@@ -10,11 +11,25 @@ import (
 	"timeprotection/internal/hw"
 )
 
-// TestSheddingExemptsPeerTraffic: load shedding counts each request at
-// its entry shard only. A forwarded request already consumed an
-// in-flight slot on the shard that forwarded it; shedding it again at
-// the owner would double-penalise cluster traffic and turn one
-// overloaded shard into cluster-wide 503s.
+// singleMemberCluster builds a cluster whose ring contains only this
+// shard: Route always answers self, so nothing ever forwards, but the
+// server is a clustered deployment — its internal endpoints are
+// registered and peer traffic earns the shedding exemption.
+func singleMemberCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	cl, err := cluster.New(cluster.Options{Self: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	t.Cleanup(cl.Close)
+	return cl
+}
+
+// TestSheddingExemptsPeerTraffic: on a clustered deployment, load
+// shedding counts each request at its entry shard only. A forwarded
+// request already consumed an in-flight slot on the shard that
+// forwarded it; shedding it again at the owner would double-penalise
+// cluster traffic and turn one overloaded shard into cluster-wide 503s.
 func TestSheddingExemptsPeerTraffic(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
@@ -25,7 +40,10 @@ func TestSheddingExemptsPeerTraffic(t *testing.T) {
 		}
 		return "body " + e.CanonicalKey() + "\n", nil
 	}
-	s, ts := newTestServer(t, Options{Parallel: 2, MaxInflight: 1, Runner: runner})
+	s, ts := newTestServer(t, Options{
+		Parallel: 2, MaxInflight: 1, Runner: runner,
+		Cluster: singleMemberCluster(t),
+	})
 
 	// Warm table2 so the exempted requests below are cache hits that
 	// need no pool slot.
@@ -110,7 +128,10 @@ func TestEntryQueryRoundTrip(t *testing.T) {
 		mu.Unlock()
 		return "body " + e.CanonicalKey() + "\n", nil
 	}
-	_, ts := newTestServer(t, Options{Parallel: 2, Runner: runner})
+	_, ts := newTestServer(t, Options{
+		Parallel: 2, Runner: runner,
+		Cluster: singleMemberCluster(t),
+	})
 
 	entries := []experiments.PlanEntry{
 		{Artefact: mustArtefact(t, "table2"),
@@ -140,5 +161,86 @@ func TestEntryQueryRoundTrip(t *testing.T) {
 	defer mu.Unlock()
 	if len(ran) != len(entries) {
 		t.Errorf("runner saw %d entries, want %d", len(ran), len(entries))
+	}
+}
+
+// TestNoClusterSurfaceWithoutCluster: a daemon that never opted into
+// -peers exposes no cluster surface at all. The internal endpoints
+// answer 404 — no client can PUT bytes into its store under a
+// well-formed key or read through the peer path — and the forward
+// header earns no shedding exemption, so it cannot be spoofed to
+// bypass the in-flight cap.
+func TestNoClusterSurfaceWithoutCluster(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	runner := func(e experiments.PlanEntry) (string, error) {
+		if e.Artefact.Name == "table3" {
+			entered <- struct{}{}
+			<-release
+		}
+		return "body " + e.CanonicalKey() + "\n", nil
+	}
+	s, ts := newTestServer(t, Options{Parallel: 2, MaxInflight: 1, Runner: runner})
+
+	entry := experiments.PlanEntry{
+		Artefact: mustArtefact(t, "table2"),
+		Config:   experiments.Config{Platform: hw.Haswell(), Samples: 30, Seed: 42}.Canonical(),
+	}
+
+	// The read-through endpoint is not registered.
+	eresp, _ := get(t, ts.URL+cluster.EntryPath+"?"+cluster.EntryQuery(entry).Encode())
+	if eresp.StatusCode != http.StatusNotFound {
+		t.Errorf("cluster entry endpoint without a cluster: status %d, want 404", eresp.StatusCode)
+	}
+
+	// Neither is the replication endpoint: a poisoned body for a valid
+	// key must not land anywhere.
+	preq, err := http.NewRequest(http.MethodPut,
+		ts.URL+cluster.ReplicaPathPrefix+entry.CacheKey(), strings.NewReader("poison\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.DefaultClient.Do(preq)
+	if err != nil {
+		t.Fatalf("replica PUT: %v", err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusNotFound {
+		t.Errorf("replica endpoint without a cluster: status %d, want 404", presp.StatusCode)
+	}
+	if resp, body := get(t, ts.URL+"/v1/artefacts/table2?samples=30"); resp.StatusCode != 200 ||
+		body != "body "+entry.CanonicalKey()+"\n" {
+		t.Errorf("artefact after poison attempt: status %d body %q — the PUT must not have landed", resp.StatusCode, body)
+	}
+
+	// Occupy the single in-flight slot, then spoof the forward header:
+	// without a cluster it confers no shedding exemption.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.Get(ts.URL + "/v1/artefacts/table3?samples=30")
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	<-entered
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/artefacts/table2?samples=30", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(cluster.ForwardHeader, "1")
+	fresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("spoofed-forward request: %v", err)
+	}
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("spoofed forward at cap: status %d, want 503 (no exemption without a cluster)", fresp.StatusCode)
+	}
+	close(release)
+	<-done
+
+	if shed := s.Snapshot().Requests.Shed; shed != 1 {
+		t.Errorf("shed %d requests, want exactly the spoofed one", shed)
 	}
 }

@@ -21,8 +21,16 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/artefacts", s.handleList)
 	s.mux.HandleFunc("GET /v1/artefacts/{name}", s.handleArtefact)
 	s.mux.HandleFunc("POST /v1/runs", s.handleRuns)
-	s.mux.HandleFunc("GET "+cluster.EntryPath, s.handleClusterEntry)
-	s.mux.HandleFunc("PUT "+cluster.ReplicaPathPrefix+"{key}", s.handleClusterReplica)
+	if s.opts.Cluster != nil {
+		// The internal cluster endpoints exist only on clustered
+		// deployments (-peers): accepting a replica PUT means trusting
+		// the sender's bytes for a key, which is the peer trust domain
+		// a -peers operator opted into. A single daemon answers 404 —
+		// no client can write into its store or read through its peer
+		// path.
+		s.mux.HandleFunc("GET "+cluster.EntryPath, s.handleClusterEntry)
+		s.mux.HandleFunc("PUT "+cluster.ReplicaPathPrefix+"{key}", s.handleClusterReplica)
+	}
 }
 
 // isForwarded reports whether a request already took its peer hop: it
@@ -233,9 +241,7 @@ func (s *Server) handleArtefact(w http.ResponseWriter, r *http.Request) {
 // second hop, so it never forwards again even if this shard's ring
 // disagrees about the owner.
 func (s *Server) handleClusterEntry(w http.ResponseWriter, r *http.Request) {
-	if cl := s.opts.Cluster; cl != nil {
-		cl.NoteForwardReceived()
-	}
+	s.opts.Cluster.NoteForwardReceived() // registered only when clustering is on
 	q := r.URL.Query()
 	cfg, err := parseConfig(q.Get)
 	if err != nil {
@@ -268,15 +274,22 @@ func (s *Server) handleClusterEntry(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	body, src, _, err := s.result(ctx, entry, false, true)
 	if err != nil {
-		status := httpStatusFor(err)
 		if errors.Is(err, experiments.ErrCheckFailed) {
-			// A failed check is a correct, deterministic verdict — report
-			// it as a client-class status so the forwarding shard does not
-			// count this shard as unhealthy before reproducing the verdict
-			// locally.
-			status = http.StatusUnprocessableEntity
+			// A failed check is a correct, deterministic verdict, not a
+			// fault: ship the rendered verdict table under 422 with the
+			// marker header so the forwarding shard adopts
+			// (body, ErrCheckFailed) — exactly what a local run yields —
+			// instead of counting a failed hop and recomputing the
+			// checks.
+			s.errors.Add(1)
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			w.Header().Set("X-Cache", src)
+			w.Header().Set(cluster.CheckFailedHeader, "1")
+			w.WriteHeader(http.StatusUnprocessableEntity)
+			w.Write(body)
+			return
 		}
-		s.fail(w, status, "%s: %v", entry.JobName(), err)
+		s.fail(w, httpStatusFor(err), "%s: %v", entry.JobName(), err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -287,10 +300,12 @@ func (s *Server) handleClusterEntry(w http.ResponseWriter, r *http.Request) {
 // handleClusterReplica accepts an owner's write-behind replication PUT:
 // the computed body lands in this shard's durable store (or, without a
 // store, its memory cache) so the entry survives the owner's death and
-// the ring successor serves it as X-Cache: disk after failover. Peers
-// are in one trust domain; the key is validated by the store, and a
-// body that does not match its key only wastes one cache slot — reads
-// re-verify content hashes on the store path.
+// the ring successor serves it as X-Cache: disk after failover.
+// Accepting a body for a key is trusting the sender: the store's
+// checksums verify disk integrity, not that the bytes match the key.
+// That trust is the documented -peers trade-off, which is why this
+// endpoint is registered only on clustered deployments — a single
+// daemon exposes no write surface at all.
 func (s *Server) handleClusterReplica(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))

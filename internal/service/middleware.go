@@ -31,16 +31,18 @@ func (s *Server) Handler() http.Handler {
 // serveShedding rejects work beyond the in-flight cap with 503 before
 // it reaches the mux — overload answers fast instead of queueing
 // everyone into timeouts. /healthz bypasses the cap so liveness probes
-// keep answering while the server sheds. Peer-forwarded requests and
-// internal cluster traffic bypass it too: the originating shard already
-// counted the hop against its own in-flight cap, and shedding it again
-// here would double-penalise cluster traffic relative to direct
-// traffic (and turn one overloaded shard's forwards into another
-// shard's 503s). Peers share a trust domain — a client spoofing the
-// forward header is merely opting out of fair shedding on a service
-// that will still bound it by pool queue backpressure.
+// keep answering while the server sheds. On clustered deployments,
+// peer-forwarded requests and internal cluster traffic bypass it too:
+// the originating shard already counted the hop against its own
+// in-flight cap, and shedding it again here would double-penalise
+// cluster traffic relative to direct traffic (and turn one overloaded
+// shard's forwards into another shard's 503s). Within a cluster, peers
+// share a trust domain — a client spoofing the forward header there is
+// merely opting out of fair shedding on a service that still bounds it
+// by pool queue backpressure. A non-clustered daemon grants no such
+// exemption: the forward header means nothing to it.
 func (s *Server) serveShedding(w http.ResponseWriter, r *http.Request) {
-	if max := s.opts.MaxInflight; max > 0 && r.URL.Path != "/healthz" && !isPeerTraffic(r) {
+	if max := s.opts.MaxInflight; max > 0 && r.URL.Path != "/healthz" && !s.isPeerTraffic(r) {
 		if s.inflight.Add(1) > int64(max) {
 			s.inflight.Add(-1)
 			s.shed.Add(1)
@@ -56,8 +58,13 @@ func (s *Server) serveShedding(w http.ResponseWriter, r *http.Request) {
 
 // isPeerTraffic reports whether a request is intra-cluster: a
 // loop-guarded forward from a peer shard, or a hit on the internal
-// cluster endpoints (read-through and replication).
-func isPeerTraffic(r *http.Request) bool {
+// cluster endpoints (read-through and replication). Without a cluster
+// there is no peer traffic by definition — the paths 404 and the
+// forward header carries no privilege.
+func (s *Server) isPeerTraffic(r *http.Request) bool {
+	if s.opts.Cluster == nil {
+		return false
+	}
 	return isForwarded(r) ||
 		r.URL.Path == cluster.EntryPath ||
 		strings.HasPrefix(r.URL.Path, cluster.ReplicaPathPrefix)

@@ -393,11 +393,20 @@ func (s *Server) lookupOrCompute(ctx context.Context, e experiments.PlanEntry, b
 	}
 	if cl := s.opts.Cluster; cl != nil && !forwarded {
 		if target := cl.Route(key); target != cl.Self() {
-			if body, origin, err := cl.FetchEntry(ctx, target, e); err == nil {
+			body, origin, err := cl.FetchEntry(ctx, target, e)
+			switch {
+			case err == nil:
 				// Promote: results are deterministic and immutable, so a
 				// forwarded copy is as authoritative as a computed one.
 				s.cache.Put(key, body)
 				return body, srcForward, origin, nil
+			case errors.Is(err, experiments.ErrCheckFailed):
+				// The owner reproduced the failing verdict — adopt it
+				// instead of re-running the checks here. Like a local
+				// check failure it is not cached (only successes are),
+				// and it must not fall through to local compute: the
+				// verdict is a correct, deterministic result.
+				return body, srcForward, origin, err
 			}
 			// Failover: the owner was routable but the hop failed (its
 			// breaker is now counting); compute locally instead — the
