@@ -15,11 +15,28 @@
 //
 // API:
 //
-//	GET  /v1/artefacts                    # registry listing (JSON)
+//	GET  /v1/artefacts                    # registry listing (JSON; ?platform= and ?paper= filter)
 //	GET  /v1/artefacts/{name}?platform=haswell&samples=150&seed=42&metrics=false
 //	POST /v1/runs                         # PlanSpec as JSON; results stream in plan order
+//	POST   /v1/sessions                   # boot an interactive attack session
+//	GET    /v1/sessions                   # live session listing
+//	GET    /v1/sessions/{id}              # session status + verdict when done
+//	POST   /v1/sessions/{id}/step         # advance the attack; returns samples + running MI
+//	GET    /v1/sessions/{id}/stream       # live SSE feed: trace events, MI updates, lifecycle
+//	DELETE /v1/sessions/{id}              # tear the session down
 //	GET  /healthz
-//	GET  /metricz                         # cache / singleflight / pool / breaker counters (JSON)
+//	GET  /metricz                         # cache / singleflight / pool / breaker / session counters (JSON)
+//
+// Errors on the v1 surface are a JSON envelope
+// ({"error":{"code","message","artefact"}}); see docs/api.md.
+//
+// Interactive sessions (-max-sessions, default 64; 0 disables the
+// surface) each own a snapshot-forked machine with a prepared covert-
+// channel attack. A session stepped to completion produces exactly the
+// samples and MI verdict of the equivalent one-shot tpattack run for
+// the same seed. Sessions idle past -session-ttl are reaped; event
+// streams are bounded and lossy, so a stalled consumer never blocks
+// the simulation.
 //
 // Artefact bodies are byte-identical to cmd/tpbench's output for the
 // same config. SIGINT/SIGTERM drain gracefully: the listener closes,
@@ -76,6 +93,7 @@ import (
 	"timeprotection/internal/cluster"
 	"timeprotection/internal/fault"
 	"timeprotection/internal/service"
+	"timeprotection/internal/session"
 	"timeprotection/internal/snapshot"
 	"timeprotection/internal/store"
 )
@@ -104,6 +122,9 @@ func main() {
 		brkCooldown = flag.Duration("breaker-cooldown", 5*time.Second, "how long an open circuit fast-fails before a half-open probe")
 		maxInflight = flag.Int("max-inflight", 0, "shed requests beyond this many in flight with 503 (0 = unlimited)")
 		logReqs     = flag.Bool("log", false, "log one structured line per request to stderr")
+
+		maxSessions = flag.Int("max-sessions", 64, "concurrent interactive attack sessions (0 disables /v1/sessions)")
+		sessionTTL  = flag.Duration("session-ttl", 5*time.Minute, "idle sessions (not stepped) are reaped after this long")
 
 		faultRate    = flag.Float64("fault-rate", 0, "injected driver error probability in [0,1] (chaos drills)")
 		faultPanic   = flag.Float64("fault-panic-rate", 0, "injected driver panic probability in [0,1]")
@@ -184,6 +205,16 @@ func main() {
 		log.Printf("tpserved: cluster of %d shards, self=%s, %d replicas per entry",
 			len(cl.Stats().Members), *self, *replicas)
 	}
+	var reg *session.Registry
+	if *maxSessions > 0 {
+		reg = session.NewRegistry(session.Options{
+			MaxSessions: *maxSessions,
+			IdleTTL:     *sessionTTL,
+		})
+		opts.Sessions = reg
+		log.Printf("tpserved: interactive sessions enabled (max %d, idle TTL %v)",
+			*maxSessions, *sessionTTL)
+	}
 	if *faultRate > 0 || *faultPanic > 0 || *faultLatency > 0 {
 		injector := fault.Wrap(nil, fault.Config{
 			Seed:  *faultSeed,
@@ -219,6 +250,9 @@ func main() {
 		log.Printf("tpserved: shutdown: %v", err)
 	}
 	svc.Close() // waits for in-flight runs and their write-behind store flushes
+	if reg != nil {
+		reg.Close() // ends live sessions; streams get a closed event
+	}
 	if cl != nil {
 		cl.Close() // waits for in-flight replication pushes
 	}

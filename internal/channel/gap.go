@@ -154,6 +154,18 @@ func RunFlushChannel(s Spec) (*FlushChannelResult, error) {
 // partition=true the line is bound to the trojan's kernel image
 // (Kernel_SetInt) and delivery is deferred to the trojan's own slices.
 func RunInterruptChannel(s Spec, partition bool) (*mi.Dataset, error) {
+	x, err := PrepareInterruptChannel(s, partition)
+	if err != nil {
+		return nil, err
+	}
+	return x.Run()
+}
+
+// PrepareInterruptChannel builds the interrupt-timing channel ready to
+// be stepped. Unlike the receiver-driven channels it caps iterations at
+// the one-shot loop's sample-proportional bound and reports whatever
+// the spy observed without a starvation error.
+func PrepareInterruptChannel(s Spec, partition bool) (*Interactive, error) {
 	s = s.withDefaults()
 	sys, err := buildSystem(s)
 	if err != nil {
@@ -180,9 +192,6 @@ func RunInterruptChannel(s Spec, partition bool) (*mi.Dataset, error) {
 	if _, err := sys.Spawn(1, "spy", 10, obs); err != nil {
 		return nil, err
 	}
-	chunk := sys.Timeslice() * 8
-	for i := 0; i < s.Samples*2+400 && obs.FirstOnline.N() < s.Samples; i++ {
-		sys.RunCoreFor(0, chunk)
-	}
-	return obs.FirstOnline, nil
+	done := func() bool { return obs.FirstOnline.N() >= s.Samples }
+	return newInteractive(sys, obs.FirstOnline, done, s.Samples*2+400, false, s.Samples), nil
 }

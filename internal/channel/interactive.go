@@ -1,0 +1,92 @@
+package channel
+
+import (
+	"fmt"
+
+	"timeprotection/internal/core"
+	"timeprotection/internal/mi"
+)
+
+// Interactive is a prepared covert-channel attack that advances under
+// caller control instead of running to completion: the machine is
+// booted (snapshot-forked), sender and receiver are spawned, and each
+// StepSamples call drives the simulation in the same fixed chunks the
+// one-shot Run* entry points use. Because the one-shot loop already
+// re-checks completion between chunks, stepping in any increments
+// replays the identical sequence of RunCoreFor calls — a session
+// stepped to completion produces byte-identical samples to the
+// equivalent one-shot run. The session API is built on this type;
+// pkg/timeprot re-exposes it as Session.
+//
+// An Interactive is single-goroutine, like the simulator it owns.
+type Interactive struct {
+	sys      *core.System
+	ds       *mi.Dataset
+	done     func() bool
+	chunk    uint64
+	iters    int
+	maxIters int
+	// starve selects the intra-core/kernel contract (an explicit
+	// receiver-starved error at the iteration cap); the interrupt
+	// channel caps iterations silently and reports what it observed.
+	starve bool
+	target int
+}
+
+func newInteractive(sys *core.System, ds *mi.Dataset, done func() bool, maxIters int, starve bool, target int) *Interactive {
+	return &Interactive{
+		sys: sys, ds: ds, done: done,
+		chunk: sys.Timeslice() * 8, maxIters: maxIters, starve: starve, target: target,
+	}
+}
+
+// Dataset returns the samples collected so far (live — it grows as the
+// attack is stepped).
+func (x *Interactive) Dataset() *mi.Dataset { return x.ds }
+
+// Done reports whether the attack has collected its full target.
+func (x *Interactive) Done() bool { return x.done() }
+
+// Target returns the configured sample target.
+func (x *Interactive) Target() int { return x.target }
+
+// starved is the error the one-shot loop reports when the iteration cap
+// is reached before the receiver has its samples.
+func (x *Interactive) starved() error {
+	return fmt.Errorf("channel: receiver starved (collected %d samples)", x.ds.N())
+}
+
+// StepSamples advances the attack until n more samples have been
+// collected, the attack completes, or the iteration cap is reached,
+// and returns the samples this call collected. stop, when non-nil, is
+// polled between simulation chunks; returning true abandons the step
+// early (a session checks its closed flag here, so deleting a session
+// halts an in-flight step at the next chunk boundary).
+func (x *Interactive) StepSamples(n int, stop func() bool) ([]mi.Sample, error) {
+	from := x.ds.N()
+	goal := from + n
+	for x.iters < x.maxIters && !x.done() && x.ds.N() < goal {
+		if stop != nil && stop() {
+			return x.ds.Since(from), nil
+		}
+		x.sys.RunCoreFor(0, x.chunk)
+		x.iters++
+	}
+	if x.iters >= x.maxIters && !x.done() && x.starve {
+		return x.ds.Since(from), x.starved()
+	}
+	return x.ds.Since(from), nil
+}
+
+// Run drives the attack to completion — the one-shot entry points'
+// loop, expressed over the prepared state.
+func (x *Interactive) Run() (*mi.Dataset, error) {
+	for x.iters < x.maxIters && !x.done() {
+		x.sys.RunCoreFor(0, x.chunk)
+		x.iters++
+	}
+	if !x.done() && x.starve {
+		return nil, x.starved()
+	}
+	return x.ds, nil
+}

@@ -64,6 +64,12 @@ type Spec struct {
 	// Tracer attaches a machine-wide observability sink to the system
 	// the channel runs on (nil = tracing disabled).
 	Tracer *trace.Sink
+	// ForkWithEvents forks the booted machine from the snapshot cache
+	// even when Tracer retains events (normally such runs boot cold so
+	// the ring holds the boot too — see snapshot.ForkForStreaming). The
+	// session layer sets it: live consumers only observe post-fork
+	// events, and create latency matters there.
+	ForkWithEvents bool
 }
 
 // withDefaults fills zero fields. Seed is not defaulted: seed 0 is a
@@ -81,7 +87,11 @@ func (s Spec) withDefaults() Spec {
 // forks the booted system from the snapshot cache; the prefetcher
 // ablation and ConfigureSystem hook mutate only the private fork.
 func buildSystem(s Spec) (*core.System, error) {
-	sys, err := snapshot.NewSystem(core.Options{
+	boot := snapshot.NewSystem
+	if s.ForkWithEvents {
+		boot = snapshot.ForkForStreaming
+	}
+	sys, err := boot(core.Options{
 		Platform:              s.Platform,
 		Scenario:              s.Scenario,
 		Domains:               2,
@@ -104,17 +114,9 @@ func buildSystem(s Spec) (*core.System, error) {
 	return sys, nil
 }
 
-// run drives the system until the receiver has its samples.
-func run(sys *core.System, recv *Receiver) (*mi.Dataset, error) {
-	chunk := sys.Timeslice() * 8
-	for i := 0; i < 100000 && !recv.Done(); i++ {
-		sys.RunCoreFor(0, chunk)
-	}
-	if !recv.Done() {
-		return nil, fmt.Errorf("channel: receiver starved (collected %d samples)", recv.Dataset().N())
-	}
-	return recv.Dataset(), nil
-}
+// receiverCap is the chunk-iteration bound of the receiver-driven
+// channels; reaching it without the samples is the starvation error.
+const receiverCap = 100000
 
 // Buffer base addresses (disjoint regions of the user address space).
 const (
@@ -127,6 +129,16 @@ const (
 // RunIntraCore runs one Table 3 intra-core covert channel and returns
 // the dataset of (sender symbol, receiver measurement) pairs.
 func RunIntraCore(s Spec, res Resource) (*mi.Dataset, error) {
+	x, err := PrepareIntraCore(s, res)
+	if err != nil {
+		return nil, err
+	}
+	return x.Run()
+}
+
+// PrepareIntraCore builds a Table 3 intra-core covert channel ready to
+// be stepped: machine forked, sender and receiver spawned, nothing run.
+func PrepareIntraCore(s Spec, res Resource) (*Interactive, error) {
 	s = s.withDefaults()
 	sys, err := buildSystem(s)
 	if err != nil {
@@ -293,7 +305,7 @@ func RunIntraCore(s Spec, res Resource) (*mi.Dataset, error) {
 	if _, err := sys.Spawn(1, "receiver", 10, recv); err != nil {
 		return nil, err
 	}
-	return run(sys, recv)
+	return newInteractive(sys, recv.Dataset(), recv.Done, receiverCap, true, s.Samples), nil
 }
 
 // RunKernelChannel runs the Figure 3 covert channel through a shared
@@ -301,6 +313,16 @@ func RunIntraCore(s Spec, res Resource) (*mi.Dataset, error) {
 // receiver counts LLC misses on the cache sets holding the kernel's
 // syscall handlers.
 func RunKernelChannel(s Spec) (*mi.Dataset, error) {
+	x, err := PrepareKernelChannel(s)
+	if err != nil {
+		return nil, err
+	}
+	return x.Run()
+}
+
+// PrepareKernelChannel builds the Figure 3 kernel channel ready to be
+// stepped.
+func PrepareKernelChannel(s Spec) (*Interactive, error) {
 	s = s.withDefaults()
 	sys, err := buildSystem(s)
 	if err != nil {
@@ -390,5 +412,5 @@ func RunKernelChannel(s Spec) (*mi.Dataset, error) {
 	if _, err := sys.Spawn(1, "receiver", 10, recv); err != nil {
 		return nil, err
 	}
-	return run(sys, recv)
+	return newInteractive(sys, recv.Dataset(), recv.Done, receiverCap, true, s.Samples), nil
 }

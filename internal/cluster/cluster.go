@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"timeprotection/internal/api"
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/fault"
 )
@@ -360,10 +361,15 @@ func (c *Cluster) fetchOnce(ctx context.Context, target string, e experiments.Pl
 		}
 		c.brk.Success(target)
 		pc.forwardHits.Add(1)
-		return body, resp.Header.Get("X-Cache"), experiments.ErrCheckFailed
+		return body, resp.Header.Get(api.HeaderCache), experiments.ErrCheckFailed
 	}
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		msg := string(raw)
+		if e, ok := api.DecodeError(raw); ok {
+			// Peers answer v1 envelopes; surface the message, not JSON.
+			msg = e.Message
+		}
 		err := fmt.Errorf("forward to %s: %s: %s", target, resp.Status, msg)
 		pc.forwardFails.Add(1)
 		if resp.StatusCode >= 500 {
@@ -381,7 +387,7 @@ func (c *Cluster) fetchOnce(ctx context.Context, target string, e experiments.Pl
 	}
 	c.brk.Success(target)
 	pc.forwardHits.Add(1)
-	return body, resp.Header.Get("X-Cache"), nil
+	return body, resp.Header.Get(api.HeaderCache), nil
 }
 
 // peerFailed records one failed hop against a peer's breaker (the

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"timeprotection/internal/api"
 	"timeprotection/internal/cluster/clustertest"
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/fault"
@@ -130,7 +131,7 @@ func TestClusterFailover(t *testing.T) {
 		if resp.StatusCode != 200 || string(body) != chaosBody(e) {
 			t.Fatalf("seed %d via replica node%d: status %d body %q", seed, replica, resp.StatusCode, body)
 		}
-		if xc := resp.Header.Get("X-Cache"); xc != "disk" {
+		if xc := resp.Header.Get(api.HeaderCache); xc != "disk" {
 			t.Errorf("seed %d via replica node%d: X-Cache %q, want disk (replicated store entry)", seed, replica, xc)
 		}
 
@@ -138,7 +139,7 @@ func TestClusterFailover(t *testing.T) {
 		if resp.StatusCode != 200 || string(body) != chaosBody(e) {
 			t.Fatalf("seed %d via node%d: status %d body %q", seed, other, resp.StatusCode, body)
 		}
-		if xc := resp.Header.Get("X-Cache"); xc != "forward" {
+		if xc := resp.Header.Get(api.HeaderCache); xc != "forward" {
 			t.Errorf("seed %d via node%d: X-Cache %q, want forward (routed around dead owner)", seed, other, xc)
 		}
 	}

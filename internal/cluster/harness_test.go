@@ -3,6 +3,7 @@ package cluster_test
 import (
 	"testing"
 
+	"timeprotection/internal/api"
 	"timeprotection/internal/cluster/clustertest"
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/hw"
@@ -48,7 +49,7 @@ func TestClusterByteIdentity(t *testing.T) {
 			if resp.StatusCode != 200 {
 				t.Fatalf("node%d %s: status %d: %s", i, art.Name, resp.StatusCode, body)
 			}
-			sources[resp.Header.Get("X-Cache")]++
+			sources[resp.Header.Get(api.HeaderCache)]++
 			if string(body) != want {
 				t.Errorf("node%d %s: body differs from tpbench output\n got %d bytes: %.80q\nwant %d bytes: %.80q",
 					i, art.Name, len(body), body, len(want), want)

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"timeprotection/internal/api"
 	"timeprotection/internal/cluster"
 	"timeprotection/internal/cluster/clustertest"
 	"timeprotection/internal/experiments"
@@ -56,10 +57,10 @@ func TestForwardLoopGuard(t *testing.T) {
 	if resp.StatusCode != 200 || string(body) != chaosBody(e) {
 		t.Fatalf("crossed key via node0: status %d body %q", resp.StatusCode, body)
 	}
-	if xc := resp.Header.Get("X-Cache"); xc != "forward" {
+	if xc := resp.Header.Get(api.HeaderCache); xc != "forward" {
 		t.Fatalf("X-Cache = %q, want forward (node0 must take its one hop)", xc)
 	}
-	if origin := resp.Header.Get("X-Cluster-Origin-Cache"); origin != "miss" {
+	if origin := resp.Header.Get(api.HeaderOriginCache); origin != "miss" {
 		t.Errorf("origin cache = %q, want miss (node1 must compute locally, not bounce back)", origin)
 	}
 	if got := computes.Load(); got != 1 {
@@ -80,7 +81,7 @@ func TestForwardLoopGuard(t *testing.T) {
 	// The guard costs nothing next time: node 0 cached the forwarded
 	// bytes, so the same request is now a local hit.
 	resp, _ = tc.Get(0, chaosPath(crossed))
-	if xc := resp.Header.Get("X-Cache"); xc != "hit" {
+	if xc := resp.Header.Get(api.HeaderCache); xc != "hit" {
 		t.Errorf("repeat X-Cache = %q, want hit", xc)
 	}
 }

@@ -24,6 +24,13 @@ type Artefact struct {
 	// Group is "" for paper artefacts, "ablations" for the design-
 	// decision study, "extensions" for the beyond-the-paper studies.
 	Group string
+	// Paper is the source the artefact reproduces or extends:
+	// PaperGe2019 for the Ge et al. EuroSys'19 results (including the
+	// ablations of its design decisions), PaperBeyond for studies that
+	// go past it. Future reproductions (e.g. the Wistoff et al.
+	// temporal-partitioning results) add their own value — the
+	// ?paper= filter on GET /v1/artefacts keys on it.
+	Paper string
 	// X86Only marks artefacts that exist only on x86 platforms
 	// (Figures 4 and 6, CAT, SMT).
 	X86Only bool
@@ -36,10 +43,33 @@ type Artefact struct {
 	Render func(Config) (string, error)
 }
 
+// Paper identifiers for Artefact.Paper / the ?paper= listing filter.
+const (
+	// PaperGe2019 is Ge, Yarom, Cock, Heiser — "Time Protection: The
+	// Missing OS Abstraction" (EuroSys 2019), the reproduced paper.
+	PaperGe2019 = "ge2019"
+	// PaperBeyond groups the beyond-the-paper extension studies.
+	PaperBeyond = "beyond"
+)
+
+// Papers lists the known Paper values in listing order.
+func Papers() []string { return []string{PaperGe2019, PaperBeyond} }
+
+// KnownPaper reports whether name is a registered Paper value.
+func KnownPaper(name string) bool {
+	for _, p := range Papers() {
+		if p == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Registry lists every artefact in the paper's presentation order —
-// the order Plan emits them in.
+// the order Plan emits them in. Every listing and filter preserves
+// this order, so responses are stably ordered.
 func Registry() []Artefact {
-	return []Artefact{
+	reg := []Artefact{
 		{Name: "table1", Title: "hardware platform parameters", Table: 1, Global: true,
 			Render: func(Config) (string, error) { return Table1(), nil }},
 		{Name: "table2", Title: "worst-case on-core flush cost", Table: 2,
@@ -75,6 +105,20 @@ func Registry() []Artefact {
 		{Name: "fuzzytime", Title: "fuzzy-time countermeasure study", Group: "extensions",
 			Render: func(cfg Config) (string, error) { r, err := FuzzyTime(cfg); return r.Render(), err }},
 	}
+	// Default Paper from Group: the paper's artefacts — and the
+	// ablations of its own design decisions — belong to ge2019; the
+	// extension studies go beyond it. An entry may set Paper explicitly
+	// (artefacts from later papers will); the default only fills blanks.
+	for i := range reg {
+		if reg[i].Paper == "" {
+			if reg[i].Group == "extensions" {
+				reg[i].Paper = PaperBeyond
+			} else {
+				reg[i].Paper = PaperGe2019
+			}
+		}
+	}
+	return reg
 }
 
 // LookupArtefact resolves a registry name.

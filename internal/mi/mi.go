@@ -48,6 +48,35 @@ func (d *Dataset) Add(input int, output float64) {
 // N returns the number of samples.
 func (d *Dataset) N() int { return len(d.inputs) }
 
+// Sample is one (input symbol, output measurement) observation in
+// collection order — the unit incremental consumers (the session API's
+// step results) read back out of a growing dataset.
+type Sample struct {
+	Input  int
+	Output float64
+}
+
+// At returns the i-th sample in collection order.
+func (d *Dataset) At(i int) Sample {
+	return Sample{Input: d.inputs[i], Output: d.outputs[i]}
+}
+
+// Since returns the samples collected at or after index from, in
+// collection order (a copy; empty when from >= N).
+func (d *Dataset) Since(from int) []Sample {
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(d.inputs) {
+		return nil
+	}
+	out := make([]Sample, len(d.inputs)-from)
+	for i := range out {
+		out[i] = Sample{Input: d.inputs[from+i], Output: d.outputs[from+i]}
+	}
+	return out
+}
+
 // refreshGroups (re)builds the grouping memo if samples were added (or
 // the dataset was constructed directly) since it was last built.
 func (d *Dataset) refreshGroups() {

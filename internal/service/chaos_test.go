@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"timeprotection/internal/api"
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/fault"
 )
@@ -143,8 +144,8 @@ func TestChaosMixedLoadWithFaultInjection(t *testing.T) {
 	}
 	for _, url := range gets {
 		resp, body := get(t, ts.URL+url)
-		if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != "hit" {
-			t.Errorf("post-chaos %s = %d X-Cache=%q, want cached 200", url, resp.StatusCode, resp.Header.Get("X-Cache"))
+		if resp.StatusCode != 200 || resp.Header.Get(api.HeaderCache) != "hit" {
+			t.Errorf("post-chaos %s = %d X-Cache=%q, want cached 200", url, resp.StatusCode, resp.Header.Get(api.HeaderCache))
 		}
 		if !strings.Contains(body, "seed=") {
 			t.Errorf("post-chaos %s body %q not the clean driver output", url, body)

@@ -9,9 +9,11 @@ import (
 	"net/http"
 	"strconv"
 
+	"timeprotection/internal/api"
 	"timeprotection/internal/cluster"
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/hw"
+	"timeprotection/internal/session"
 	"timeprotection/internal/store"
 )
 
@@ -31,6 +33,18 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("GET "+cluster.EntryPath, s.handleClusterEntry)
 		s.mux.HandleFunc("PUT "+cluster.ReplicaPathPrefix+"{key}", s.handleClusterReplica)
 	}
+	if s.opts.Sessions != nil {
+		// The interactive attack-session surface exists only when the
+		// daemon was given a registry (-max-sessions > 0): it hands out
+		// live simulated machines, a resource a batch-only deployment
+		// may not want to expose.
+		s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+		s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+		s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+		s.mux.HandleFunc("POST /v1/sessions/{id}/step", s.handleSessionStep)
+		s.mux.HandleFunc("GET /v1/sessions/{id}/stream", s.handleSessionStream)
+		s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	}
 }
 
 // isForwarded reports whether a request already took its peer hop: it
@@ -41,9 +55,17 @@ func isForwarded(r *http.Request) bool {
 	return r.Header.Get(cluster.ForwardHeader) != ""
 }
 
-func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+// fail emits the v1 JSON error envelope
+// ({"error":{"code","message","artefact"}}) and counts the error.
+// Every error response on the v1 surface goes through here (or the
+// shedding path in middleware.go, which writes the same envelope) —
+// plain-text http.Error bodies are not part of the API. artefact names
+// the artefact job or session the error concerns ("" when none).
+func (s *Server) fail(w http.ResponseWriter, status int, code api.ErrorCode, artefact, format string, args ...any) {
 	s.errors.Add(1)
-	http.Error(w, fmt.Sprintf(format, args...), status)
+	api.WriteError(w, status, api.Error{
+		Code: code, Message: fmt.Sprintf(format, args...), Artefact: artefact,
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -73,9 +95,10 @@ type Metrics struct {
 		Shed     uint64 `json:"shed"`
 		Inflight int64  `json:"inflight"`
 	} `json:"requests"`
-	DriverRuns   uint64 `json:"driver_runs"`
-	Retries      uint64 `json:"retries"`
-	RunnerPanics uint64 `json:"runner_panics"`
+	DriverRuns   uint64         `json:"driver_runs"`
+	Retries      uint64         `json:"retries"`
+	RunnerPanics uint64         `json:"runner_panics"`
+	Sessions     *session.Stats `json:"sessions,omitempty"`
 }
 
 // Snapshot collects the current counters (also used by tests).
@@ -102,6 +125,10 @@ func (s *Server) Snapshot() Metrics {
 	m.DriverRuns = s.runs.Load()
 	m.Retries = s.retries.Load()
 	m.RunnerPanics = s.panics.Load()
+	if reg := s.opts.Sessions; reg != nil {
+		stats := reg.Stats()
+		m.Sessions = &stats
+	}
 	return m
 }
 
@@ -119,16 +146,44 @@ type artefactInfo struct {
 	Table     int      `json:"table,omitempty"`
 	Figure    int      `json:"figure,omitempty"`
 	Group     string   `json:"group,omitempty"`
+	Paper     string   `json:"paper"`
 	Global    bool     `json:"global,omitempty"`
 	Platforms []string `json:"platforms"`
 }
 
-func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
-	var list []artefactInfo
+// handleList serves GET /v1/artefacts. ?platform= keeps artefacts that
+// run on that platform (global artefacts are platform-independent and
+// always pass); ?paper= keeps artefacts from that source paper. Both
+// filters 400 on unknown values; results preserve the registry's
+// stable paper-presentation order.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var plat hw.Platform
+	platName := q.Get("platform")
+	if platName != "" {
+		var ok bool
+		plat, ok = hw.PlatformByName(platName)
+		if !ok {
+			s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "unknown platform %q (haswell|sabre)", platName)
+			return
+		}
+	}
+	paper := q.Get("paper")
+	if paper != "" && !experiments.KnownPaper(paper) {
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "unknown paper %q (known: %v)", paper, experiments.Papers())
+		return
+	}
+	list := []artefactInfo{}
 	for _, a := range experiments.Registry() {
+		if platName != "" && !a.Global && !a.SupportsPlatform(plat) {
+			continue
+		}
+		if paper != "" && a.Paper != paper {
+			continue
+		}
 		info := artefactInfo{
 			Name: a.Name, Title: a.Title, Table: a.Table, Figure: a.Figure,
-			Group: a.Group, Global: a.Global,
+			Group: a.Group, Paper: a.Paper, Global: a.Global,
 		}
 		switch {
 		case a.Global:
@@ -193,13 +248,13 @@ func (s *Server) handleArtefact(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	art, ok := experiments.LookupArtefact(name)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown artefact %q (known: %v)", name, experiments.ArtefactNames())
+		s.fail(w, http.StatusNotFound, api.CodeNotFound, name, "unknown artefact %q (known: %v)", name, experiments.ArtefactNames())
 		return
 	}
 	q := r.URL.Query()
 	cfg, err := parseConfig(q.Get)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, name, "%v", err)
 		return
 	}
 	platName := q.Get("platform")
@@ -208,11 +263,11 @@ func (s *Server) handleArtefact(w http.ResponseWriter, r *http.Request) {
 	}
 	plat, ok := hw.PlatformByName(platName)
 	if !ok {
-		s.fail(w, http.StatusBadRequest, "unknown platform %q (haswell|sabre)", platName)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, name, "unknown platform %q (haswell|sabre)", platName)
 		return
 	}
 	if !art.SupportsPlatform(plat) {
-		s.fail(w, http.StatusBadRequest, "artefact %q is x86-only, not available on %q", name, platName)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, name, "artefact %q is x86-only, not available on %q", name, platName)
 		return
 	}
 	cfg.Platform = plat
@@ -222,14 +277,14 @@ func (s *Server) handleArtefact(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	body, src, origin, err := s.result(ctx, entry, false, isForwarded(r))
 	if err != nil {
-		s.fail(w, httpStatusFor(err), "%s: %v", entry.JobName(), err)
+		s.fail(w, httpStatusFor(err), codeFor(err), entry.JobName(), "%s: %v", entry.JobName(), err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("X-Cache", src) // hit | disk | miss | forward
+	w.Header().Set(api.HeaderCache, src) // hit | disk | miss | forward
 	if origin != "" {
 		// How the owning shard served the forwarded request.
-		w.Header().Set("X-Cluster-Origin-Cache", origin)
+		w.Header().Set(api.HeaderOriginCache, origin)
 	}
 	w.Write(body)
 }
@@ -245,7 +300,7 @@ func (s *Server) handleClusterEntry(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	cfg, err := parseConfig(q.Get)
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "%v", err)
 		return
 	}
 	check := q.Get("check") == "1"
@@ -254,17 +309,17 @@ func (s *Server) handleClusterEntry(w http.ResponseWriter, r *http.Request) {
 		var ok bool
 		art, ok = experiments.LookupArtefact(q.Get("artefact"))
 		if !ok {
-			s.fail(w, http.StatusNotFound, "unknown artefact %q", q.Get("artefact"))
+			s.fail(w, http.StatusNotFound, api.CodeNotFound, q.Get("artefact"), "unknown artefact %q", q.Get("artefact"))
 			return
 		}
 	}
 	plat, ok := hw.PlatformByName(q.Get("platform"))
 	if !ok {
-		s.fail(w, http.StatusBadRequest, "unknown platform %q", q.Get("platform"))
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, art.Name, "unknown platform %q", q.Get("platform"))
 		return
 	}
 	if !check && !art.SupportsPlatform(plat) {
-		s.fail(w, http.StatusBadRequest, "artefact %q not available on %q", art.Name, plat.Name)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, art.Name, "artefact %q not available on %q", art.Name, plat.Name)
 		return
 	}
 	cfg.Platform = plat
@@ -283,17 +338,17 @@ func (s *Server) handleClusterEntry(w http.ResponseWriter, r *http.Request) {
 			// checks.
 			s.errors.Add(1)
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-			w.Header().Set("X-Cache", src)
+			w.Header().Set(api.HeaderCache, src)
 			w.Header().Set(cluster.CheckFailedHeader, "1")
 			w.WriteHeader(http.StatusUnprocessableEntity)
 			w.Write(body)
 			return
 		}
-		s.fail(w, httpStatusFor(err), "%s: %v", entry.JobName(), err)
+		s.fail(w, httpStatusFor(err), codeFor(err), entry.JobName(), "%s: %v", entry.JobName(), err)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.Header().Set("X-Cache", src) // the forwarding shard reports it as origin
+	w.Header().Set(api.HeaderCache, src) // the forwarding shard reports it as origin
 	w.Write(body)
 }
 
@@ -310,12 +365,12 @@ func (s *Server) handleClusterReplica(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 64<<20))
 	if err != nil {
-		s.fail(w, http.StatusBadRequest, "replica body: %v", err)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "replica body: %v", err)
 		return
 	}
 	if st := s.opts.Store; st != nil {
 		if err := st.Put(key, body); err != nil {
-			s.fail(w, http.StatusBadRequest, "replica put: %v", err)
+			s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "replica put: %v", err)
 			return
 		}
 	} else {
@@ -351,11 +406,11 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		s.fail(w, http.StatusBadRequest, "bad run request: %v", err)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "bad run request: %v", err)
 		return
 	}
 	if err := experiments.ValidateArtefactNames(req.Artefacts); err != nil {
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "%v", err)
 		return
 	}
 	platNames := req.Platforms
@@ -366,7 +421,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 	for _, n := range platNames {
 		p, ok := hw.PlatformByName(n)
 		if !ok {
-			s.fail(w, http.StatusBadRequest, "unknown platform %q (haswell|sabre)", n)
+			s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "unknown platform %q (haswell|sabre)", n)
 			return
 		}
 		plats = append(plats, p)
@@ -391,7 +446,7 @@ func (s *Server) handleRuns(w http.ResponseWriter, r *http.Request) {
 		Check:      req.Check,
 	})
 	if len(entries) == 0 {
-		s.fail(w, http.StatusBadRequest, "run request selects no artefacts")
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "run request selects no artefacts")
 		return
 	}
 

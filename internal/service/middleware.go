@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"timeprotection/internal/api"
 	"timeprotection/internal/cluster"
 )
 
@@ -17,7 +18,7 @@ func (s *Server) Handler() http.Handler {
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		s.serveShedding(rec, r)
 		if lg := s.opts.AccessLog; lg != nil {
-			cache := rec.Header().Get("X-Cache")
+			cache := rec.Header().Get(api.HeaderCache)
 			if cache == "" {
 				cache = "-"
 			}
@@ -40,20 +41,36 @@ func (s *Server) Handler() http.Handler {
 // share a trust domain — a client spoofing the forward header there is
 // merely opting out of fair shedding on a service that still bounds it
 // by pool queue backpressure. A non-clustered daemon grants no such
-// exemption: the forward header means nothing to it.
+// exemption: the forward header means nothing to it. Session SSE
+// streams are exempt as well: they hold their connection open for the
+// session's lifetime, so counting them against MaxInflight would let a
+// handful of watchers starve the compute surface — streams are bounded
+// by their own caps (MaxSessions × MaxSubscribers) instead.
 func (s *Server) serveShedding(w http.ResponseWriter, r *http.Request) {
-	if max := s.opts.MaxInflight; max > 0 && r.URL.Path != "/healthz" && !s.isPeerTraffic(r) {
+	if max := s.opts.MaxInflight; max > 0 && r.URL.Path != "/healthz" &&
+		!s.isPeerTraffic(r) && !s.isSessionStream(r) {
 		if s.inflight.Add(1) > int64(max) {
 			s.inflight.Add(-1)
 			s.shed.Add(1)
 			s.errors.Add(1)
 			w.Header().Set("Retry-After", "1")
-			http.Error(w, "overloaded: in-flight request cap reached", http.StatusServiceUnavailable)
+			api.WriteError(w, http.StatusServiceUnavailable, api.Error{
+				Code:    api.CodeOverloaded,
+				Message: "overloaded: in-flight request cap reached",
+			})
 			return
 		}
 		defer s.inflight.Add(-1)
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// isSessionStream matches GET /v1/sessions/{id}/stream on deployments
+// that expose the session surface.
+func (s *Server) isSessionStream(r *http.Request) bool {
+	return s.opts.Sessions != nil && r.Method == http.MethodGet &&
+		strings.HasPrefix(r.URL.Path, "/v1/sessions/") &&
+		strings.HasSuffix(r.URL.Path, "/stream")
 }
 
 // isPeerTraffic reports whether a request is intra-cluster: a

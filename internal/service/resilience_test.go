@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"timeprotection/internal/api"
 	"timeprotection/internal/experiments"
 )
 
@@ -36,7 +37,7 @@ func TestRetryEventuallySucceeds(t *testing.T) {
 	}
 	// The successful retry landed in the cache like any clean run.
 	resp2, _ := get(t, ts.URL+"/v1/artefacts/table2")
-	if resp2.Header.Get("X-Cache") != "hit" {
+	if resp2.Header.Get(api.HeaderCache) != "hit" {
 		t.Error("retried success not cached")
 	}
 }
@@ -177,6 +178,9 @@ func TestLoadSheddingCapsInflight(t *testing.T) {
 	resp, body := get(t, ts.URL+"/v1/artefacts/table3")
 	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "overloaded") {
 		t.Fatalf("over-cap request = %d %q, want 503 overloaded", resp.StatusCode, body)
+	}
+	if e, ok := api.DecodeError([]byte(body)); !ok || e.Code != api.CodeOverloaded {
+		t.Fatalf("shed body = %q, want overloaded error envelope", body)
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("shed response missing Retry-After")

@@ -31,9 +31,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"timeprotection/internal/api"
 	"timeprotection/internal/cluster"
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/fault"
+	"timeprotection/internal/session"
 	"timeprotection/internal/store"
 )
 
@@ -105,6 +107,16 @@ type Options struct {
 	// owns the cluster's lifecycle; close it after Server.Close so the
 	// drain's replication pushes land.
 	Cluster *cluster.Cluster
+	// Sessions, when non-nil, exposes the interactive attack-session
+	// surface (POST /v1/sessions, step, SSE stream) backed by this
+	// registry. Like Cluster, the caller owns its lifecycle: close it
+	// after the HTTP listener stops so live streams end before the
+	// drain completes. Without it the session routes 404.
+	Sessions *session.Registry
+	// SessionHeartbeat is the SSE stream's comment-heartbeat period
+	// (default 15s) — it keeps idle streams alive through proxies and
+	// lets tests prove liveness quickly.
+	SessionHeartbeat time.Duration
 	// Runner computes one plan entry's output. Nil selects the real
 	// drivers (PlanEntry.Output); tests inject counting, blocking or
 	// fault-injecting runners.
@@ -139,18 +151,23 @@ func (o Options) withDefaults() Options {
 	if o.MaxInflight < 0 {
 		o.MaxInflight = 0
 	}
+	if o.SessionHeartbeat <= 0 {
+		o.SessionHeartbeat = 15 * time.Second
+	}
 	if o.Runner == nil {
 		o.Runner = func(e experiments.PlanEntry) (string, error) { return e.Output() }
 	}
 	return o
 }
 
-// Cache-source values result reports and X-Cache carries.
+// Cache-source values result reports and X-Cache carries. The strings
+// themselves live in internal/api — the one home of the wire protocol,
+// shared with internal/cluster — these are just short local names.
 const (
-	srcHit     = "hit"     // served from the in-memory cache
-	srcDisk    = "disk"    // served from the durable store
-	srcMiss    = "miss"    // computed by a driver run
-	srcForward = "forward" // served by the key's owning shard (peer read-through)
+	srcHit     = api.CacheHit     // served from the in-memory cache
+	srcDisk    = api.CacheDisk    // served from the durable store
+	srcMiss    = api.CacheMiss    // computed by a driver run
+	srcForward = api.CacheForward // served by the key's owning shard (peer read-through)
 )
 
 // Server owns the cache, singleflight group, worker pool and circuit
@@ -456,7 +473,9 @@ func (s *Server) lookupOrCompute(ctx context.Context, e experiments.PlanEntry, b
 	return body, srcMiss, "", err
 }
 
-// httpStatusFor maps compute errors onto response codes.
+// httpStatusFor maps compute errors onto response codes; codeFor maps
+// the same errors onto envelope error codes. Keep the two switches
+// aligned.
 func httpStatusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrQueueFull):
@@ -467,5 +486,20 @@ func httpStatusFor(err error) int {
 		return http.StatusGatewayTimeout
 	default:
 		return http.StatusInternalServerError
+	}
+}
+
+func codeFor(err error) api.ErrorCode {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return api.CodeQueueFull
+	case errors.Is(err, ErrCircuitOpen):
+		return api.CodeCircuitOpen
+	case errors.Is(err, ErrPoolClosed):
+		return api.CodeUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return api.CodeTimeout
+	default:
+		return api.CodeInternal
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"timeprotection/internal/api"
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/hw"
 )
@@ -106,7 +107,7 @@ func TestCacheHitServesIdenticalBytes(t *testing.T) {
 	if got := calls.Load(); got != 1 {
 		t.Fatalf("driver ran %d times, want 1", got)
 	}
-	if h1, h2 := resp1.Header.Get("X-Cache"), resp2.Header.Get("X-Cache"); h1 != "miss" || h2 != "hit" {
+	if h1, h2 := resp1.Header.Get(api.HeaderCache), resp2.Header.Get(api.HeaderCache); h1 != "miss" || h2 != "hit" {
 		t.Errorf("X-Cache = %q then %q, want miss then hit", h1, h2)
 	}
 	m := s.Snapshot()
@@ -131,7 +132,7 @@ func TestGlobalArtefactSharesOneEntry(t *testing.T) {
 	_, ts := newTestServer(t, Options{Parallel: 1, Runner: countingRunner(&calls)})
 	get(t, ts.URL+"/v1/artefacts/table1?samples=30")
 	resp, _ := get(t, ts.URL+"/v1/artefacts/table1?samples=99&platform=sabre")
-	if resp.Header.Get("X-Cache") != "hit" {
+	if resp.Header.Get(api.HeaderCache) != "hit" {
 		t.Errorf("table1 with different config missed the cache")
 	}
 	if calls.Load() != 1 {
@@ -213,20 +214,36 @@ func TestSingleflightCollapsesConcurrentRequests(t *testing.T) {
 func TestBadRequests(t *testing.T) {
 	_, ts := newTestServer(t, Options{Parallel: 1})
 	cases := []struct {
-		url  string
-		want int
+		url      string
+		want     int
+		code     api.ErrorCode
+		artefact string
 	}{
-		{"/v1/artefacts/table9", http.StatusNotFound},
-		{"/v1/artefacts/table2?platform=riscv", http.StatusBadRequest},
-		{"/v1/artefacts/figure4?platform=sabre", http.StatusBadRequest}, // x86-only
-		{"/v1/artefacts/table2?samples=abc", http.StatusBadRequest},
-		{"/v1/artefacts/table2?seed=abc", http.StatusBadRequest},
-		{"/v1/artefacts/table2?metrics=maybe", http.StatusBadRequest},
+		{"/v1/artefacts/table9", http.StatusNotFound, api.CodeNotFound, "table9"},
+		{"/v1/artefacts/table2?platform=riscv", http.StatusBadRequest, api.CodeBadRequest, "table2"},
+		{"/v1/artefacts/figure4?platform=sabre", http.StatusBadRequest, api.CodeBadRequest, "figure4"}, // x86-only
+		{"/v1/artefacts/table2?samples=abc", http.StatusBadRequest, api.CodeBadRequest, "table2"},
+		{"/v1/artefacts/table2?seed=abc", http.StatusBadRequest, api.CodeBadRequest, "table2"},
+		{"/v1/artefacts/table2?metrics=maybe", http.StatusBadRequest, api.CodeBadRequest, "table2"},
+		{"/v1/artefacts?platform=riscv", http.StatusBadRequest, api.CodeBadRequest, ""},
+		{"/v1/artefacts?paper=nope", http.StatusBadRequest, api.CodeBadRequest, ""},
 	}
 	for _, c := range cases {
-		resp, _ := get(t, ts.URL+c.url)
+		resp, body := get(t, ts.URL+c.url)
 		if resp.StatusCode != c.want {
 			t.Errorf("%s = %d, want %d", c.url, resp.StatusCode, c.want)
+		}
+		// Every v1 error is the JSON envelope, never http.Error text.
+		e, ok := api.DecodeError([]byte(body))
+		if !ok {
+			t.Errorf("%s body = %q, want error envelope", c.url, body)
+			continue
+		}
+		if e.Code != c.code || e.Artefact != c.artefact || e.Message == "" {
+			t.Errorf("%s envelope = %+v, want code=%s artefact=%q", c.url, e, c.code, c.artefact)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s Content-Type = %q, want application/json", c.url, ct)
 		}
 	}
 
@@ -240,9 +257,13 @@ func TestBadRequests(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		raw, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if resp.StatusCode != want {
 			t.Errorf("POST %s = %d, want %d", body, resp.StatusCode, want)
+		}
+		if e, ok := api.DecodeError(raw); !ok || e.Code != api.CodeBadRequest {
+			t.Errorf("POST %s body = %q, want bad_request envelope", body, raw)
 		}
 	}
 }
@@ -318,7 +339,7 @@ func TestRunsStreamInPlanOrder(t *testing.T) {
 	// The batch populated the cache: re-requesting one artefact over GET
 	// is a hit, not a re-run.
 	resp2, _ := get(t, ts.URL+"/v1/artefacts/figure3?samples=30")
-	if resp2.Header.Get("X-Cache") != "hit" {
+	if resp2.Header.Get(api.HeaderCache) != "hit" {
 		t.Errorf("batch results not shared with GET cache")
 	}
 	if calls.Load() != 3 {
@@ -394,7 +415,7 @@ func TestByteIdentityWithTpbench(t *testing.T) {
 		t.Fatalf("served body differs from tpbench output:\nserved: %q\ntpbench: %q", body, want)
 	}
 	resp2, body2 := get(t, url)
-	if resp2.Header.Get("X-Cache") != "hit" || body2 != want {
-		t.Fatalf("repeat not an identical cache hit (X-Cache=%q)", resp2.Header.Get("X-Cache"))
+	if resp2.Header.Get(api.HeaderCache) != "hit" || body2 != want {
+		t.Fatalf("repeat not an identical cache hit (X-Cache=%q)", resp2.Header.Get(api.HeaderCache))
 	}
 }

@@ -1,0 +1,226 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"timeprotection/internal/api"
+	"timeprotection/internal/session"
+)
+
+// The interactive session surface: POST /v1/sessions boots a private
+// simulated machine with a prepared attack, POST .../step advances it
+// under client control, GET .../stream watches it live over SSE, and
+// DELETE tears it down. The registry (internal/session) owns limits
+// and lifecycle; this file is only the HTTP shape.
+
+// sessionFail maps registry/session errors onto envelope responses.
+func (s *Server) sessionFail(w http.ResponseWriter, id string, err error) {
+	switch {
+	case errors.Is(err, session.ErrBadSpec):
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, id, "%v", err)
+	case errors.Is(err, session.ErrLimit):
+		s.fail(w, http.StatusTooManyRequests, api.CodeSessionLimit, id, "%v", err)
+	case errors.Is(err, session.ErrClosed):
+		s.fail(w, http.StatusConflict, api.CodeSessionClosed, id, "%v", err)
+	case errors.Is(err, session.ErrSubscriberLimit):
+		s.fail(w, http.StatusTooManyRequests, api.CodeSubscriberLimit, id, "%v", err)
+	case errors.Is(err, session.ErrRegistryClosed):
+		s.fail(w, http.StatusServiceUnavailable, api.CodeUnavailable, id, "%v", err)
+	default:
+		s.fail(w, http.StatusInternalServerError, api.CodeInternal, id, "%v", err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// sessionFor resolves {id} or answers the 404 envelope. A deleted or
+// reaped session is no longer in the registry, so stepping or streaming
+// it after DELETE is a plain not_found — the 409 session_closed code is
+// reserved for the race where the session closes mid-operation.
+func (s *Server) sessionFor(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {
+	id := r.PathValue("id")
+	sess, ok := s.opts.Sessions.Get(id)
+	if !ok {
+		s.fail(w, http.StatusNotFound, api.CodeNotFound, id, "unknown session %q", id)
+		return nil, false
+	}
+	return sess, true
+}
+
+// handleSessionCreate boots a session from a session.Spec body and
+// answers 201 with the normalized Status document and a Location
+// header. Creation is admission-controlled by the registry, not the
+// request pool: a full registry answers 429 session_limit immediately.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var spec session.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "bad session spec: %v", err)
+		return
+	}
+	sess, err := s.opts.Sessions.Create(spec)
+	if err != nil {
+		s.sessionFail(w, "", err)
+		return
+	}
+	w.Header().Set("Location", "/v1/sessions/"+sess.ID)
+	writeJSON(w, http.StatusCreated, sess.Status())
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, _ *http.Request) {
+	list := []session.Status{}
+	for _, sess := range s.opts.Sessions.List() {
+		list = append(list, sess.Status())
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Status())
+}
+
+// stepRequest is the POST .../step body; ?rounds= works too (the body
+// wins when both are present).
+type stepRequest struct {
+	Rounds int `json:"rounds"`
+}
+
+func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	rounds := 1
+	if v := r.URL.Query().Get("rounds"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			s.fail(w, http.StatusBadRequest, api.CodeBadRequest, sess.ID, "bad rounds %q", v)
+			return
+		}
+		rounds = n
+	}
+	var req stepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	switch err := dec.Decode(&req); {
+	case errors.Is(err, io.EOF): // no body: query/default rounds
+	case err != nil:
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, sess.ID, "bad step request: %v", err)
+		return
+	case req.Rounds < 0:
+		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, sess.ID, "bad rounds %d", req.Rounds)
+		return
+	case req.Rounds > 0:
+		rounds = req.Rounds
+	}
+	res, err := sess.Step(rounds)
+	if err != nil {
+		s.sessionFail(w, sess.ID, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.opts.Sessions.Delete(id) {
+		s.fail(w, http.StatusNotFound, api.CodeNotFound, id, "unknown session %q", id)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeSSE emits one Server-Sent Event frame. Any value that fails to
+// marshal is a programming error; the frame is skipped rather than
+// corrupting the stream.
+func writeSSE(w io.Writer, typ string, data any) error {
+	b, err := json.Marshal(data)
+	if err != nil {
+		return nil
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", typ, b)
+	return err
+}
+
+// handleSessionStream is the SSE feed: a hello event with the current
+// Status, then trace/mi/done events as the session is stepped (by
+// whoever holds the step side — streaming alone never advances or
+// keeps the session alive), comment heartbeats while idle, and a final
+// closed event when the session ends. The subscriber buffer is bounded
+// and lossy: a stalled consumer drops events (counted in /metricz and
+// the status document) and never blocks the simulation.
+func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessionFor(w, r)
+	if !ok {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		s.fail(w, http.StatusInternalServerError, api.CodeInternal, sess.ID, "response writer cannot stream")
+		return
+	}
+	sub, err := sess.Subscribe()
+	if err != nil {
+		s.sessionFail(w, sess.ID, err)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	if writeSSE(w, "hello", sess.Status()) != nil {
+		return
+	}
+	flusher.Flush()
+
+	hb := time.NewTicker(s.opts.SessionHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case ev := <-sub.C:
+			if writeSSE(w, ev.Type, ev.Data) != nil {
+				return
+			}
+			flusher.Flush()
+		case <-sub.Done:
+			// Session over: drain what the buffer still holds (the
+			// closed event is published before Done closes) and finish.
+			for {
+				select {
+				case ev := <-sub.C:
+					if writeSSE(w, ev.Type, ev.Data) != nil {
+						return
+					}
+				default:
+					flusher.Flush()
+					return
+				}
+			}
+		case <-hb.C:
+			if _, err := io.WriteString(w, ": hb\n\n"); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

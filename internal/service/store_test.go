@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"timeprotection/internal/api"
 	"timeprotection/internal/experiments"
 	"timeprotection/internal/store"
 )
@@ -36,8 +37,8 @@ func TestRestartServesFromDisk(t *testing.T) {
 	s1 := New(Options{Parallel: 2, Runner: countingRunner(&calls), Store: st1})
 	ts1 := newServerOn(t, s1)
 	resp, body1 := get(t, ts1.URL+url)
-	if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != "miss" {
-		t.Fatalf("first boot: %d X-Cache=%q", resp.StatusCode, resp.Header.Get("X-Cache"))
+	if resp.StatusCode != 200 || resp.Header.Get(api.HeaderCache) != "miss" {
+		t.Fatalf("first boot: %d X-Cache=%q", resp.StatusCode, resp.Header.Get(api.HeaderCache))
 	}
 	// SIGTERM: listener closes, drain waits for write-behind flushes.
 	ts1.Close()
@@ -51,8 +52,8 @@ func TestRestartServesFromDisk(t *testing.T) {
 	s2 := New(Options{Parallel: 2, Runner: countingRunner(&calls), Store: st2})
 	ts2 := newServerOn(t, s2)
 	resp2, body2 := get(t, ts2.URL+url)
-	if resp2.StatusCode != 200 || resp2.Header.Get("X-Cache") != "disk" {
-		t.Fatalf("after restart: %d X-Cache=%q, want 200 disk", resp2.StatusCode, resp2.Header.Get("X-Cache"))
+	if resp2.StatusCode != 200 || resp2.Header.Get(api.HeaderCache) != "disk" {
+		t.Fatalf("after restart: %d X-Cache=%q, want 200 disk", resp2.StatusCode, resp2.Header.Get(api.HeaderCache))
 	}
 	if body2 != body1 {
 		t.Fatalf("disk-served body differs:\n%q\n%q", body2, body1)
@@ -61,8 +62,8 @@ func TestRestartServesFromDisk(t *testing.T) {
 		t.Fatalf("driver ran %d times across restart, want 1", got)
 	}
 	resp3, _ := get(t, ts2.URL+url)
-	if resp3.Header.Get("X-Cache") != "hit" {
-		t.Errorf("promotion failed: third request X-Cache=%q, want hit", resp3.Header.Get("X-Cache"))
+	if resp3.Header.Get(api.HeaderCache) != "hit" {
+		t.Errorf("promotion failed: third request X-Cache=%q, want hit", resp3.Header.Get(api.HeaderCache))
 	}
 	m := s2.Snapshot()
 	if m.Store == nil || m.Store.Hits != 1 {
@@ -109,8 +110,8 @@ func TestCorruptStoreEntryRecomputed(t *testing.T) {
 	s2 := New(Options{Parallel: 2, Runner: countingRunner(&calls), Store: st2})
 	ts2 := newServerOn(t, s2)
 	resp, body := get(t, ts2.URL+url)
-	if resp.StatusCode != 200 || resp.Header.Get("X-Cache") != "miss" {
-		t.Fatalf("corrupt entry: %d X-Cache=%q, want recomputing 200 miss", resp.StatusCode, resp.Header.Get("X-Cache"))
+	if resp.StatusCode != 200 || resp.Header.Get(api.HeaderCache) != "miss" {
+		t.Fatalf("corrupt entry: %d X-Cache=%q, want recomputing 200 miss", resp.StatusCode, resp.Header.Get(api.HeaderCache))
 	}
 	if body != want {
 		t.Fatalf("recomputed body differs from original:\n%q\n%q", body, want)
@@ -132,8 +133,8 @@ func TestCorruptStoreEntryRecomputed(t *testing.T) {
 	s3 := New(Options{Parallel: 2, Runner: countingRunner(&calls), Store: st3})
 	ts3 := newServerOn(t, s3)
 	resp3, _ := get(t, ts3.URL+url)
-	if resp3.Header.Get("X-Cache") != "disk" {
-		t.Errorf("healed slot: X-Cache=%q, want disk", resp3.Header.Get("X-Cache"))
+	if resp3.Header.Get(api.HeaderCache) != "disk" {
+		t.Errorf("healed slot: X-Cache=%q, want disk", resp3.Header.Get(api.HeaderCache))
 	}
 }
 
@@ -177,9 +178,9 @@ func TestDrainFlushesAbandonedFill(t *testing.T) {
 	s2 := New(Options{Parallel: 1, Runner: slow, Store: st2})
 	ts2 := newServerOn(t, s2)
 	resp2, body := get(t, ts2.URL+url)
-	if resp2.StatusCode != 200 || resp2.Header.Get("X-Cache") != "disk" || body != "slow but precious\n" {
+	if resp2.StatusCode != 200 || resp2.Header.Get(api.HeaderCache) != "disk" || body != "slow but precious\n" {
 		t.Fatalf("restart lost the abandoned fill: %d X-Cache=%q %q",
-			resp2.StatusCode, resp2.Header.Get("X-Cache"), body)
+			resp2.StatusCode, resp2.Header.Get(api.HeaderCache), body)
 	}
 	if got := calls.Load(); got != 1 {
 		t.Errorf("driver ran %d times, want 1 — the drained fill should have been kept", got)

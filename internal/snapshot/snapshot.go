@@ -305,7 +305,29 @@ func (e *entry) populate(kind byte, key string, capture func() (*bootDeltas, []b
 // tracer attached). The returned system is always a fully independent
 // object graph; concurrent callers can run their forks in parallel.
 func NewSystem(opts core.Options) (*core.System, error) {
-	if !Enabled() || opts.Tracer.EventsEnabled() {
+	if opts.Tracer.EventsEnabled() {
+		counters.fallbacks.Add(1)
+		return core.NewSystem(opts)
+	}
+	return forkSystem(opts)
+}
+
+// ForkForStreaming forks a snapshot even when opts.Tracer retains
+// events. The fork's event rings start empty — boot-time events are not
+// replayable, which is why NewSystem boots such configurations cold —
+// while the boot's counter deltas are still applied, exactly as for a
+// counters-only fork. The session layer uses it: a live session's
+// consumers only ever observe events emitted after the fork, so trading
+// the (unobservable) boot events for snapshot-speed session creation is
+// sound there, and simulated behaviour is untouched either way — the
+// decoded state is the same bytes the differential suite proves
+// boot-equivalent.
+func ForkForStreaming(opts core.Options) (*core.System, error) {
+	return forkSystem(opts)
+}
+
+func forkSystem(opts core.Options) (*core.System, error) {
+	if !Enabled() {
 		counters.fallbacks.Add(1)
 		return core.NewSystem(opts)
 	}

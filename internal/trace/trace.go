@@ -210,6 +210,12 @@ type Sink struct {
 	// installs it on attach. Nil stamps events with zero time.
 	Clock func(core int) uint64
 
+	// OnEvent, when non-nil, observes every event as it is emitted —
+	// before the ring records (and possibly later overwrites) it. Live
+	// consumers (the session API's SSE stream) tap the sink here; the
+	// hook runs on the simulating goroutine, so it must not block.
+	OnEvent func(Event)
+
 	// PadCount / PadCycles account the domain-switch padding spins
 	// (Requirement 4), which belong to no component: time deliberately
 	// burnt to make the switch cost secret-independent.
@@ -265,10 +271,14 @@ func (s *Sink) Emit(core int, kind Kind, unit Unit, addr, arg uint64) {
 	if s.Clock != nil {
 		now = s.Clock(core)
 	}
-	r.record(Event{
+	e := Event{
 		Time: now, Addr: addr, Arg: arg,
 		Kind: kind, Unit: unit, Core: uint8(core), Domain: s.domains[core],
-	})
+	}
+	if s.OnEvent != nil {
+		s.OnEvent(e)
+	}
+	r.record(e)
 }
 
 // Unit returns the counter block of one component for direct in-place

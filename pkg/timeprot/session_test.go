@@ -1,0 +1,73 @@
+package timeprot
+
+import (
+	"testing"
+)
+
+// TestSessionMatchesMeasure: the interactive facade stepped to
+// completion reproduces MeasureChannel exactly — same samples, same
+// verdict — for the same options.
+func TestSessionMatchesMeasure(t *testing.T) {
+	opts := []Option{WithoutProtection(), WithSamples(18), WithSeed(9)}
+	want, err := MeasureChannel(L1D, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewChannelSession(L1D, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Target() != 18 || s.Done() {
+		t.Fatalf("fresh session target=%d done=%v", s.Target(), s.Done())
+	}
+	var collected int
+	for !s.Done() {
+		samples, err := s.Step(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		collected += len(samples)
+	}
+	if collected != want.N() || s.Dataset().N() != want.N() {
+		t.Fatalf("collected %d (dataset %d), one-shot %d", collected, s.Dataset().N(), want.N())
+	}
+	got, ref := s.Dataset().Since(0), want.Since(0)
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("sample %d = %+v, one-shot %+v", i, got[i], ref[i])
+		}
+	}
+	if a, b := Analyze(s.Dataset(), 9), Analyze(want, 9); a.String() != b.String() {
+		t.Errorf("verdict %q, one-shot %q", a, b)
+	}
+}
+
+// TestKernelAndInterruptSessions: the other two session constructors
+// reach their targets and stay in bounds.
+func TestKernelAndInterruptSessions(t *testing.T) {
+	k, err := NewKernelChannelSession(WithoutProtection(), WithSamples(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !k.Done() {
+		if _, err := k.Step(4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Dataset().N() != 10 {
+		t.Errorf("kernel session collected %d, want 10", k.Dataset().N())
+	}
+
+	i, err := NewInterruptChannelSession(false, WithoutProtection(), WithSamples(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for !i.Done() {
+		if _, err := i.Step(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if i.Dataset().N() < 10 {
+		t.Errorf("interrupt session collected %d, want >= 10", i.Dataset().N())
+	}
+}
