@@ -60,3 +60,34 @@ func BenchmarkPrefetcherStream(b *testing.B) {
 		p.OnAccess(uint64(i) * 64)
 	}
 }
+
+// BenchmarkHierarchyAccessFast measures the batch stepping fast path:
+// the combined TLB-peek + L1-peek + commit that the hw batch entry
+// points take for a resident line. Must stay allocation-free — the
+// probe loops ride it for nearly every access.
+func BenchmarkHierarchyAccessFast(b *testing.B) {
+	h := NewHierarchy(HierarchyConfig{
+		Cores:        1,
+		L1D:          Config{Name: "L1-D", Size: 32 << 10, Ways: 8, LineSize: 64, HitLatency: 4},
+		L1I:          Config{Name: "L1-I", Size: 32 << 10, Ways: 8, LineSize: 64, HitLatency: 4},
+		L2:           Config{Name: "L2", Size: 256 << 10, Ways: 8, LineSize: 64, HitLatency: 12},
+		L2Private:    true,
+		ITLB:         TLBConfig{Name: "ITLB", Entries: 64, Ways: 8},
+		DTLB:         TLBConfig{Name: "DTLB", Entries: 64, Ways: 4},
+		L2TLB:        TLBConfig{Name: "L2TLB", Entries: 1024, Ways: 8},
+		BTB:          BTBConfig{Entries: 4096, Ways: 4, MispredictPenalty: 16},
+		BHB:          BHBConfig{HistoryBits: 16, TableBits: 14, MispredictPenalty: 16},
+		DataPrefetch: PrefetcherConfig{Streams: 64, Degree: 8, Trigger: 4, LineSize: 64},
+		MemLatency:   200,
+	})
+	const vaddr, paddr = uint64(0x1000), uint64(0x1000)
+	h.TLBInsert(0, vaddr>>12, 1, false, false)
+	h.Data(0, vaddr, paddr, false) // make the line L1-resident
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := h.AccessFast(0, vaddr>>12, 1, vaddr, paddr, false, false); !ok {
+			b.Fatal("fast path refused a resident line")
+		}
+	}
+}

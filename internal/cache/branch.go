@@ -124,7 +124,12 @@ type BHB struct {
 	histMsk uint64
 	tblMask uint64
 	table   []uint8
-	Stats   BHBStats
+	// reset is the flushed table image (all counters weakly not-taken);
+	// Flush restores it with one copy instead of a byte-at-a-time fill,
+	// which matters because the full-flush scenario resets the predictor
+	// on every domain switch.
+	reset []uint8
+	Stats BHBStats
 }
 
 // NewBHB builds the predictor; counters start weakly not-taken.
@@ -134,10 +139,12 @@ func NewBHB(cfg BHBConfig) *BHB {
 		histMsk: (1 << uint(cfg.HistoryBits)) - 1,
 		tblMask: (1 << uint(cfg.TableBits)) - 1,
 		table:   make([]uint8, 1<<uint(cfg.TableBits)),
+		reset:   make([]uint8, 1<<uint(cfg.TableBits)),
 	}
-	for i := range b.table {
-		b.table[i] = 1 // weakly not-taken
+	for i := range b.reset {
+		b.reset[i] = 1 // weakly not-taken
 	}
+	copy(b.table, b.reset)
 	return b
 }
 
@@ -167,9 +174,7 @@ func (b *BHB) CondBranch(pc uint64, taken bool) int {
 // Flush resets history and counters (IBC / BPIALL analogue).
 func (b *BHB) Flush() {
 	b.history = 0
-	for i := range b.table {
-		b.table[i] = 1
-	}
+	copy(b.table, b.reset)
 }
 
 // History exposes the raw history register (tests).

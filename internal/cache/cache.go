@@ -374,19 +374,37 @@ func (c *Cache) SetOccupancy(set int) int {
 
 // Flush invalidates the whole cache, returning the number of lines that
 // were valid and how many of those were dirty (and thus written back).
+//
+// The walk is occupancy-proportional rather than capacity-proportional:
+// an invalid way always holds invalidTag (every invalidation path writes
+// it), and a dirty bit implies the valid bit, so an empty set needs at
+// most its LRU stack restored (InvalidateTag clears valid bits without
+// resetting the stack). A mostly-empty LLC — the common case between
+// domain switches — flushes in a scan of the per-set metadata instead of
+// a rewrite of the whole tag array. The post-flush state is bit-for-bit
+// the same as a full rewrite, so snapshots and the differential suite
+// cannot tell the difference.
 func (c *Cache) Flush() (valid, dirty int) {
-	for i := range c.meta {
-		valid += bits.OnesCount16(c.meta[i].valid)
-		dirty += bits.OnesCount16(c.meta[i].dirty)
+	stack := lruInit(c.cfg.Ways)
+	nways := c.cfg.Ways
+	for set := range c.meta {
+		m := &c.meta[set]
+		if m.valid == 0 {
+			if m.lru != stack {
+				m.lru = stack
+			}
+			continue
+		}
+		valid += bits.OnesCount16(m.valid)
+		dirty += bits.OnesCount16(m.dirty)
+		base := set * nways
+		tags := c.tags[base : base+nways]
+		for v := m.valid; v != 0; v &= v - 1 {
+			tags[bits.TrailingZeros16(v)] = invalidTag
+		}
+		*m = setMeta{lru: stack}
 	}
 	c.Stats.Writebacks += uint64(dirty)
-	for i := range c.tags {
-		c.tags[i] = invalidTag
-	}
-	stack := lruInit(c.cfg.Ways)
-	for i := range c.meta {
-		c.meta[i] = setMeta{lru: stack}
-	}
 	c.Stats.Flushes++
 	return valid, dirty
 }

@@ -428,6 +428,80 @@ func (h *Hierarchy) access(core int, vaddr, paddr uint64, write, ifetch bool) in
 	return cycles
 }
 
+// AccessFast attempts the common case of one user memory access — a
+// first-level TLB hit followed by an L1 hit — in a single pass over the
+// two set's worth of state. It first peeks both structures without
+// mutating anything; only when both would hit does it commit exactly
+// the state transitions, statistics and trace output the full
+// TLBLevel-then-access path produces for that case (TLB tick/stamp and
+// hit count, L1 LRU move, dirty mark and hit count, unit counters, and
+// the TLBHit/CacheHit events in path order). ok=false means nothing was
+// touched and the caller must run the full path from scratch; the batch
+// entry points in the hw layer are its only intended callers.
+func (h *Hierarchy) AccessFast(core int, vpn uint64, asid uint16, vaddr, paddr uint64, write, ifetch bool) (cycles int, ok bool) {
+	tlb := h.dtlb[core]
+	l1 := h.l1d[core]
+	l1u, tu := trace.UnitL1D, trace.UnitDTLB
+	if ifetch {
+		tlb = h.itlb[core]
+		l1 = h.l1i[core]
+		l1u, tu = trace.UnitL1I, trace.UnitITLB
+	}
+	tbase := tlb.setOf(vpn) * tlb.cfg.Ways
+	thit := -1
+	for i := tbase; i < tbase+tlb.cfg.Ways; i++ {
+		e := &tlb.entries[i]
+		if e.valid && e.vpn == vpn && (e.global || e.asid == asid) {
+			thit = i
+			break
+		}
+	}
+	if thit < 0 {
+		return 0, false
+	}
+	idx := paddr
+	if l1.cfg.Virtual {
+		idx = vaddr
+	}
+	set := int((idx >> l1.lineBits) & l1.setMask)
+	tag := paddr &^ l1.lineMask
+	base := set * l1.cfg.Ways
+	tags := l1.tags[base : base+l1.cfg.Ways : base+l1.cfg.Ways]
+	way := -1
+	for i := range tags {
+		if tags[i] == tag {
+			way = i
+			break
+		}
+	}
+	if way < 0 {
+		return 0, false
+	}
+	tlb.tick++
+	tlb.entries[thit].stamp = tlb.tick
+	tlb.Stats.Hits++
+	m := &l1.meta[set]
+	m.lru = lruToFront(m.lru, way)
+	if write {
+		m.dirty |= 1 << uint(way)
+	}
+	l1.Stats.Hits++
+	if h.sink != nil {
+		ts := h.sink.Unit(tu)
+		ts.Accesses++
+		ts.Hits++
+		st := h.sink.Unit(l1u)
+		st.Accesses++
+		st.Cycles += uint64(l1.cfg.HitLatency)
+		st.Hits++
+		if h.sinkEvents {
+			h.sink.Emit(core, trace.TLBHit, tu, vpn, 0)
+			h.sink.Emit(core, trace.CacheHit, l1u, tag, 0)
+		}
+	}
+	return l1.cfg.HitLatency, true
+}
+
 // observe records one demand access outcome on unit u: the counters,
 // the hit latency, and (when events are retained) the hit/miss event
 // plus any eviction the access caused.

@@ -117,10 +117,27 @@ func (t *TLB) Contains(vpn uint64, asid uint16) bool {
 // mappings survive (the behaviour of a non-PCID TLB flush on x86, or of
 // TLBIASID on Arm). Returns the number of entries dropped.
 func (t *TLB) FlushAll(keepGlobal bool) int {
+	if !keepGlobal {
+		// Invalid entries are already zero (every invalidation writes the
+		// zero entry), so a count followed by a block clear reproduces the
+		// per-entry walk exactly, and an already-empty TLB costs no writes.
+		n := 0
+		for i := range t.entries {
+			if t.entries[i].valid {
+				n++
+			}
+		}
+		if n != 0 {
+			for i := range t.entries {
+				t.entries[i] = tlbEntry{}
+			}
+		}
+		return n
+	}
 	n := 0
 	for i := range t.entries {
 		e := &t.entries[i]
-		if e.valid && !(keepGlobal && e.global) {
+		if e.valid && !e.global {
 			*e = tlbEntry{}
 			n++
 		}

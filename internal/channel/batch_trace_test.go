@@ -1,0 +1,51 @@
+package channel
+
+import (
+	"testing"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/kernel"
+	"timeprotection/internal/trace"
+)
+
+// tracedRun replays one traced intra-core L2 channel run and returns
+// the complete event stream.
+func tracedRun(t *testing.T) []trace.Event {
+	t.Helper()
+	sink := trace.NewSink(testRing)
+	if _, err := RunIntraCore(Spec{
+		Platform: hw.Haswell(), Scenario: kernel.ScenarioRaw,
+		Samples: 10, Seed: 42, Tracer: sink,
+	}, L2); err != nil {
+		t.Fatalf("RunIntraCore: %v", err)
+	}
+	return completeEvents(t, sink)
+}
+
+// TestTraceBatchingEventStreamIdentical is the strongest form of the
+// batched-stepping equivalence claim: not just identical artefact
+// bytes, but an identical microarchitectural event stream. Every
+// TLB/cache hit, miss, fill, eviction and domain switch must appear in
+// the same order with the same timestamp, address and attribution
+// whether the probes step scalar or batched.
+func TestTraceBatchingEventStreamIdentical(t *testing.T) {
+	defer SetBatching(true)
+
+	SetBatching(false)
+	scalar := tracedRun(t)
+
+	SetBatching(true)
+	batched := tracedRun(t)
+
+	if len(scalar) == 0 {
+		t.Fatal("scalar run produced no events")
+	}
+	if len(scalar) != len(batched) {
+		t.Fatalf("event counts diverge: scalar %d, batched %d", len(scalar), len(batched))
+	}
+	for i := range scalar {
+		if scalar[i] != batched[i] {
+			t.Fatalf("event %d diverges:\n  scalar:  %v\n  batched: %v", i, scalar[i], batched[i])
+		}
+	}
+}

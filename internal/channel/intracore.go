@@ -127,13 +127,16 @@ const (
 )
 
 // RunIntraCore runs one Table 3 intra-core covert channel and returns
-// the dataset of (sender symbol, receiver measurement) pairs.
+// the dataset of (sender symbol, receiver measurement) pairs. Untraced
+// hook-free runs are memoized process-wide (see memo.go).
 func RunIntraCore(s Spec, res Resource) (*mi.Dataset, error) {
-	x, err := PrepareIntraCore(s, res)
-	if err != nil {
-		return nil, err
-	}
-	return x.Run()
+	return memoDataset(s, fmt.Sprintf("intracore|%d", res), func() (*mi.Dataset, error) {
+		x, err := PrepareIntraCore(s, res)
+		if err != nil {
+			return nil, err
+		}
+		return x.Run()
+	})
 }
 
 // PrepareIntraCore builds a Table 3 intra-core covert channel ready to
@@ -169,6 +172,12 @@ func PrepareIntraCore(s Spec, res Resource) (*Interactive, error) {
 			if cols := sys.Domains[1].Pool.Colours(); len(cols) > 0 {
 				rsize = size * len(cols) / sys.K.M.Plat.Colours()
 			}
+			// A partition smaller than a page would round the buffer to
+			// zero pages and the receiver would probe nothing; one page is
+			// the smallest set a coloured allocation can occupy.
+			if rsize < memory.PageSize {
+				rsize = memory.PageSize
+			}
 		}
 		sbuf, err := NewProbeBuffer(sys, 0, senderBufBase, size/memory.PageSize)
 		if err != nil {
@@ -183,10 +192,7 @@ func PrepareIntraCore(s Spec, res Resource) (*Interactive, error) {
 		// worst-case cascade (every prime&probe toolkit does this), and
 		// for the L2 it also touches the freshest surviving prefetcher
 		// streams before the probe's own allocations displace them.
-		rLinesRev := make([]uint64, len(rLines))
-		for i, v := range rLines {
-			rLinesRev[len(rLines)-1-i] = v
-		}
+		rLinesRev := reversed(rLines)
 		exec := res == L1I
 		sender = NewSender(symbols, s.Seed, func(e *kernel.Env, sym int) {
 			n := len(sLines) * sym / (symbols - 1)
@@ -222,7 +228,7 @@ func PrepareIntraCore(s Spec, res Resource) (*Interactive, error) {
 			return nil, err
 		}
 		pageLine := func(b *ProbeBuffer) []uint64 {
-			var out []uint64
+			out := make([]uint64, 0, b.Pages)
 			for p := 0; p < b.Pages; p++ {
 				out = append(out, b.Base+uint64(p)*memory.PageSize)
 			}
@@ -311,13 +317,15 @@ func PrepareIntraCore(s Spec, res Resource) (*Interactive, error) {
 // RunKernelChannel runs the Figure 3 covert channel through a shared
 // (or cloned) kernel image: the sender signals with system calls, the
 // receiver counts LLC misses on the cache sets holding the kernel's
-// syscall handlers.
+// syscall handlers. Untraced hook-free runs are memoized process-wide.
 func RunKernelChannel(s Spec) (*mi.Dataset, error) {
-	x, err := PrepareKernelChannel(s)
-	if err != nil {
-		return nil, err
-	}
-	return x.Run()
+	return memoDataset(s, "kernel", func() (*mi.Dataset, error) {
+		x, err := PrepareKernelChannel(s)
+		if err != nil {
+			return nil, err
+		}
+		return x.Run()
+	})
 }
 
 // PrepareKernelChannel builds the Figure 3 kernel channel ready to be
@@ -379,10 +387,7 @@ func PrepareKernelChannel(s Spec) (*Interactive, error) {
 	// order (so a refill evicts the interloper, not the next line to be
 	// probed — the anti-LRU discipline of real prime&probe toolkits).
 	lines := DeStride(rbuf.LinesForSets(llc, targets, padTo), h.L1D.LineSize)
-	linesRev := make([]uint64, len(lines))
-	for i, v := range lines {
-		linesRev[len(lines)-1-i] = v
-	}
+	linesRev := reversed(lines)
 	missThreshold := h.L1D.HitLatency + h.L2.HitLatency + 2
 	// After priming, the receiver walks an L1-sized cleansing buffer so
 	// its probe lines leave the L1 and the next measurement exposes the

@@ -1,0 +1,44 @@
+package channel
+
+import (
+	"testing"
+
+	"timeprotection/internal/hw"
+	"timeprotection/internal/kernel"
+)
+
+// tinyL2Platform models the smallest-partition corner of the L2
+// receiver sizing: an L2 whose share rounds below one page. With a
+// 2 KiB single-way L2 the unclamped sizing (size scaled by the
+// domain's colour share) yields half a page, which used to round the
+// receiver's probe buffer down to zero pages.
+func tinyL2Platform() hw.Platform {
+	p := hw.Haswell()
+	p.Name = "tiny-l2 (test)"
+	p.Hierarchy.L2.Size = 2 << 10
+	p.Hierarchy.L2.Ways = 1
+	return p
+}
+
+// TestIntraCoreL2SmallestPartition is the regression test for the
+// receiver-sizing clamp: when the L2 share a receiver can occupy is
+// smaller than one page, PrepareIntraCore must still give it a
+// one-page probe buffer rather than an empty one. Before the clamp the
+// buffer rounded to zero pages and every probe measured nothing.
+func TestIntraCoreL2SmallestPartition(t *testing.T) {
+	ds, err := RunIntraCore(Spec{
+		Platform: tinyL2Platform(), Scenario: kernel.ScenarioRaw,
+		Samples: 12, Seed: 42, TimesliceMicros: 50,
+	}, L2)
+	if err != nil {
+		t.Fatalf("RunIntraCore on sub-page L2 partition: %v", err)
+	}
+	if ds.N() < 12 {
+		t.Fatalf("collected %d samples, want 12", ds.N())
+	}
+	for i := 0; i < ds.N(); i++ {
+		if s := ds.At(i); s.Output <= 0 {
+			t.Fatalf("sample %d measured %v cycles — the receiver probed an empty buffer", i, s.Output)
+		}
+	}
+}

@@ -8,12 +8,28 @@ package channel
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"timeprotection/internal/cache"
 	"timeprotection/internal/core"
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/memory"
 )
+
+// batching selects the probe primitives' stepping mode: batched (one
+// Env.LoadBatch/ExecBatch walk per probe, the default) or scalar (one
+// Env call per line). The two are equivalent by construction — the
+// batch path performs the identical per-access sequence — and the
+// differential tests run every artefact both ways to prove it.
+var batching atomic.Bool
+
+func init() { batching.Store(true) }
+
+// SetBatching toggles batched probe stepping process-wide (tests).
+func SetBatching(on bool) { batching.Store(on) }
+
+// Batching reports whether batched probe stepping is active.
+func Batching() bool { return batching.Load() }
 
 // ProbeBuffer is a user-mapped buffer used for prime&probe: the receiver
 // fills cache sets with its own lines (prime) and later measures how
@@ -42,7 +58,7 @@ func NewProbeBuffer(sys *core.System, dom int, base uint64, pages int) (*ProbeBu
 
 // AllLines returns the virtual address of every cache line in the buffer.
 func (b *ProbeBuffer) AllLines() []uint64 {
-	var out []uint64
+	out := make([]uint64, 0, b.Pages*memory.PageSize/b.LineSize)
 	for off := uint64(0); off < uint64(b.Pages)*memory.PageSize; off += uint64(b.LineSize) {
 		out = append(out, b.Base+off)
 	}
@@ -104,8 +120,12 @@ func DeStride(lines []uint64, lineSize int) []uint64 {
 // clock), so clock countermeasures (fuzzy time) degrade it faithfully.
 func Probe(e *kernel.Env, lines []uint64) int {
 	t0 := e.Now()
-	for _, v := range lines {
-		e.Load(v)
+	if batching.Load() {
+		e.LoadBatch(lines, nil)
+	} else {
+		for _, v := range lines {
+			e.Load(v)
+		}
 	}
 	return int(e.Now() - t0)
 }
@@ -113,13 +133,41 @@ func Probe(e *kernel.Env, lines []uint64) int {
 // ProbeMisses loads every line and counts those whose clock-measured
 // latency exceeds the threshold (Mastik-style miss counting; Figure 3's
 // y-axis).
+//
+// The batch path reconstructs the scalar loop's per-line clock reads
+// from the batch costs: within one Step nothing but the accesses
+// themselves advance the core's cycle counter, so the t0/t1 pair each
+// iteration would have read — including the fuzzy-clock quantisation
+// the attacker is subject to — is start-plus-prefix-sum, quantised.
 func ProbeMisses(e *kernel.Env, lines []uint64, threshold int) int {
+	if !batching.Load() {
+		misses := 0
+		for _, v := range lines {
+			t0 := e.Now()
+			e.Load(v)
+			if int(e.Now()-t0) > threshold {
+				misses++
+			}
+		}
+		return misses
+	}
+	costs := e.CostScratch(len(lines))
+	now := e.PreciseNow()
+	e.LoadBatch(lines, costs)
 	misses := 0
-	for _, v := range lines {
-		t0 := e.Now()
-		e.Load(v)
-		if int(e.Now()-t0) > threshold {
-			misses++
+	if g := e.Kernel().Cfg.FuzzyClockGrain; g > 0 {
+		for _, c := range costs {
+			t0 := now / g * g
+			now += uint64(c)
+			if int(now/g*g-t0) > threshold {
+				misses++
+			}
+		}
+	} else {
+		for _, c := range costs {
+			if c > threshold {
+				misses++
+			}
 		}
 	}
 	return misses
@@ -128,10 +176,37 @@ func ProbeMisses(e *kernel.Env, lines []uint64, threshold int) int {
 // ProbeExec fetches every line as instructions (L1-I probing).
 func ProbeExec(e *kernel.Env, lines []uint64) int {
 	t0 := e.Now()
-	for _, v := range lines {
-		e.Exec(v)
+	if batching.Load() {
+		e.ExecBatch(lines, nil)
+	} else {
+		for _, v := range lines {
+			e.Exec(v)
+		}
 	}
 	return int(e.Now() - t0)
+}
+
+// StoreLines dirties every line — the flush channel's sender primitive
+// (the write-back count is the signal).
+func StoreLines(e *kernel.Env, lines []uint64) {
+	if batching.Load() {
+		e.StoreBatch(lines, nil)
+		return
+	}
+	for _, v := range lines {
+		e.Store(v)
+	}
+}
+
+// reversed returns lines in reverse order (the anti-LRU probe
+// discipline: probing in reverse of priming order defeats the LRU
+// cascade, as every real prime&probe toolkit does).
+func reversed(lines []uint64) []uint64 {
+	out := make([]uint64, len(lines))
+	for i, v := range lines {
+		out[len(lines)-1-i] = v
+	}
+	return out
 }
 
 // KernelTextSets returns the LLC (or shared-L2) sets occupied by the

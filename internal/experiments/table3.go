@@ -7,6 +7,7 @@ import (
 	"timeprotection/internal/channel"
 	"timeprotection/internal/kernel"
 	"timeprotection/internal/mi"
+	"timeprotection/internal/snapshot"
 )
 
 // Table3Row is one resource's channel measurement across the three
@@ -55,6 +56,41 @@ func (r Table3Result) Render() string {
 	return out
 }
 
+// fixedSource is a rand.Source whose first (and only consumed) draw is
+// a predetermined value: it replays the shuffle-test seed recorded in a
+// memo key, so a memoized cell recomputes with exactly the rng draw the
+// unmemoized sweep would have handed it.
+type fixedSource int64
+
+func (s fixedSource) Int63() int64 { return int64(s) }
+func (fixedSource) Seed(int64)     {}
+
+// table3Cell measures one (resource, scenario) cell: run the channel,
+// then estimate M and M0. Untraced cells are memoized including the MI
+// analysis (the Table 2/6/7 idiom). mi.Analyze draws exactly one value
+// from rng (the ShuffleBound base seed); it is drawn *before* the memo
+// lookup so the stream position — and with it every later cell of the
+// sweep — is identical whether the cell hits or misses, and it is part
+// of the key so a cell is only ever served an analysis seeded the way
+// this sweep would have seeded it.
+func table3Cell(s channel.Spec, r channel.Resource, rng *rand.Rand) (mi.Result, error) {
+	if s.Tracer != nil {
+		ds, err := channel.RunIntraCore(s, r)
+		if err != nil {
+			return mi.Result{}, err
+		}
+		return mi.Analyze(ds, rng), nil
+	}
+	base := rng.Int63()
+	return snapshot.Memo(fmt.Sprintf("table3|%d|%d|%t|%+v", r, base, channel.Batching(), s), func() (mi.Result, error) {
+		ds, err := channel.RunIntraCore(s, r)
+		if err != nil {
+			return mi.Result{}, err
+		}
+		return mi.Analyze(ds, rand.New(fixedSource(base))), nil
+	})
+}
+
 // Table3 measures every intra-core channel under all three scenarios.
 func Table3(cfg Config) (Table3Result, error) {
 	cfg = cfg.withDefaults()
@@ -63,13 +99,12 @@ func Table3(cfg Config) (Table3Result, error) {
 	for _, r := range channel.Resources(cfg.Platform) {
 		row := Table3Row{Resource: r.String()}
 		for _, sc := range []kernel.Scenario{kernel.ScenarioRaw, kernel.ScenarioFullFlush, kernel.ScenarioProtected} {
-			ds, err := channel.RunIntraCore(channel.Spec{
+			m, err := table3Cell(channel.Spec{
 				Platform: cfg.Platform, Scenario: sc, Samples: cfg.Samples, Seed: cfg.Seed, Tracer: cfg.Tracer,
-			}, r)
+			}, r, rng)
 			if err != nil {
 				return res, fmt.Errorf("%v %v: %w", r, sc, err)
 			}
-			m := mi.Analyze(ds, rng)
 			switch sc {
 			case kernel.ScenarioRaw:
 				row.Raw = m
@@ -82,15 +117,14 @@ func Table3(cfg Config) (Table3Result, error) {
 		res.Rows = append(res.Rows, row)
 	}
 	if cfg.Platform.Hierarchy.L2Private {
-		ds, err := channel.RunIntraCore(channel.Spec{
+		m, err := table3Cell(channel.Spec{
 			Platform: cfg.Platform, Scenario: kernel.ScenarioProtected,
 			Samples: cfg.Samples, Seed: cfg.Seed, DisablePrefetcher: true,
 			Tracer: cfg.Tracer,
-		}, channel.L2)
+		}, channel.L2, rng)
 		if err != nil {
 			return res, err
 		}
-		m := mi.Analyze(ds, rng)
 		res.PrefetchOff = &m
 	}
 	return res, nil

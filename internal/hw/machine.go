@@ -86,16 +86,23 @@ func (m *Machine) Spin(core, n int) {
 // placement has its true cache footprint). It returns the physical
 // address and the cycles consumed by translation.
 func (m *Machine) translate(core int, as *memory.AddressSpace, vaddr uint64, ifetch bool) (uint64, int) {
-	vpn := vaddr >> memory.PageBits
 	tr, ok := as.Translate(vaddr)
 	if !ok {
 		panic(fmt.Sprintf("hw: core %d: unmapped access %#x (asid %d)", core, vaddr, as.ASID()))
 	}
+	return tr.PAddr, m.translateCost(core, as, vaddr, tr, ifetch)
+}
+
+// translateCost charges the TLB/walk side of a translation whose
+// page-table result is already in hand (the batch paths call
+// as.Translate once and reuse tr on the slow path).
+func (m *Machine) translateCost(core int, as *memory.AddressSpace, vaddr uint64, tr memory.Translation, ifetch bool) int {
+	vpn := vaddr >> memory.PageBits
 	switch m.Hier.TLBLevel(core, vpn, as.ASID(), ifetch) {
 	case cache.TLBHitL1:
-		return tr.PAddr, 0
+		return 0
 	case cache.TLBHitL2:
-		return tr.PAddr, m.Hier.L2TLBHitLatency()
+		return m.Hier.L2TLBHitLatency()
 	}
 	// Full miss: hardware walker loads the two PTEs through the data
 	// cache path, then the translation is installed.
@@ -112,7 +119,7 @@ func (m *Machine) translate(core int, as *memory.AddressSpace, vaddr uint64, ife
 			s.Emit(core, trace.PageWalk, trace.UnitWalk, vpn, uint64(cycles))
 		}
 	}
-	return tr.PAddr, cycles
+	return cycles
 }
 
 // Load performs a data load at vaddr in the given address space,
@@ -130,6 +137,57 @@ func (m *Machine) Store(core int, as *memory.AddressSpace, vaddr uint64) int {
 	c += m.Hier.Data(core, vaddr, paddr, true)
 	m.Cores[core].Now += uint64(c)
 	return c
+}
+
+// batchAccess runs the per-element body shared by the batch entry
+// points: each address goes through exactly the translate-then-access
+// sequence of the scalar Load/Store/Fetch, with the common case (L1 TLB
+// hit, L1 cache hit) taken in one pass by the hierarchy's fast path.
+// Per-access cycle costs are written into costs when non-nil, so
+// callers reconstructing fine-grained timestamps (the prime&probe miss
+// counters) see the same per-element clock a scalar loop would have
+// read.
+func (m *Machine) batchAccess(core int, as *memory.AddressSpace, vaddrs []uint64, costs []int, write, ifetch bool) {
+	cpu := m.Cores[core]
+	h := m.Hier
+	asid := as.ASID()
+	for i, v := range vaddrs {
+		tr, ok := as.Translate(v)
+		if !ok {
+			panic(fmt.Sprintf("hw: core %d: unmapped access %#x (asid %d)", core, v, asid))
+		}
+		c, fast := h.AccessFast(core, v>>memory.PageBits, asid, v, tr.PAddr, write, ifetch)
+		if !fast {
+			c = m.translateCost(core, as, v, tr, ifetch)
+			if ifetch {
+				c += h.Fetch(core, v, tr.PAddr)
+			} else {
+				c += h.Data(core, v, tr.PAddr, write)
+			}
+		}
+		cpu.Now += uint64(c)
+		if costs != nil {
+			costs[i] = c
+		}
+	}
+}
+
+// LoadBatch performs a data load at every address in vaddrs, exactly as
+// the same sequence of Load calls would, writing per-access cycle costs
+// into costs when non-nil (which must then be at least len(vaddrs)).
+func (m *Machine) LoadBatch(core int, as *memory.AddressSpace, vaddrs []uint64, costs []int) {
+	m.batchAccess(core, as, vaddrs, costs, false, false)
+}
+
+// StoreBatch is the store counterpart of LoadBatch.
+func (m *Machine) StoreBatch(core int, as *memory.AddressSpace, vaddrs []uint64, costs []int) {
+	m.batchAccess(core, as, vaddrs, costs, true, false)
+}
+
+// FetchBatch performs an instruction fetch at every pc in pcs, exactly
+// as the same sequence of Fetch calls would.
+func (m *Machine) FetchBatch(core int, as *memory.AddressSpace, pcs []uint64, costs []int) {
+	m.batchAccess(core, as, pcs, costs, false, true)
 }
 
 // Fetch performs an instruction fetch at pc (one line's worth of

@@ -21,6 +21,10 @@ type IRQHandler struct {
 type Env struct {
 	k    *Kernel
 	core int
+	// costScratch backs CostScratch: programs on a core run one Step at a
+	// time, so a single reusable buffer per environment serves every batch
+	// cost readback without allocating in the measurement loop.
+	costScratch []int
 }
 
 // thread returns the invoking thread. Programs must not issue further
@@ -70,6 +74,36 @@ func (e *Env) Store(vaddr uint64) int {
 // Exec fetches one line of user instructions at pc.
 func (e *Env) Exec(pc uint64) int {
 	return e.k.M.Fetch(e.core, e.thread().Proc.AS, pc)
+}
+
+// LoadBatch performs a data load at every address, exactly as the same
+// sequence of Load calls would; per-access costs land in costs when
+// non-nil. It is the allocation-free stepping primitive of the probe
+// loops: one call walks a flat line array instead of re-resolving the
+// thread and address space per access.
+func (e *Env) LoadBatch(vaddrs []uint64, costs []int) {
+	e.k.M.LoadBatch(e.core, e.thread().Proc.AS, vaddrs, costs)
+}
+
+// StoreBatch is the store counterpart of LoadBatch.
+func (e *Env) StoreBatch(vaddrs []uint64, costs []int) {
+	e.k.M.StoreBatch(e.core, e.thread().Proc.AS, vaddrs, costs)
+}
+
+// ExecBatch fetches every pc as one line of user instructions, exactly
+// as the same sequence of Exec calls would.
+func (e *Env) ExecBatch(pcs []uint64, costs []int) {
+	e.k.M.FetchBatch(e.core, e.thread().Proc.AS, pcs, costs)
+}
+
+// CostScratch returns a reusable []int of length n owned by this
+// environment, for batch cost readback. Contents are unspecified; the
+// buffer is only valid until the next CostScratch call on this core.
+func (e *Env) CostScratch(n int) []int {
+	if cap(e.costScratch) < n {
+		e.costScratch = make([]int, n)
+	}
+	return e.costScratch[:n]
 }
 
 // CondBranch executes a conditional branch through the core's history

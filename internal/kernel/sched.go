@@ -65,7 +65,7 @@ func (s *Scheduler) PickNext(core int, now uint64) *TCB {
 			if haveSlot && t.Domain != slotDom {
 				continue
 			}
-			s.ready[p] = append(append([]*TCB{}, q[:i]...), q[i+1:]...)
+			s.ready[p] = dequeueAt(q, i)
 			s.chargeQueueOp(core, p, true)
 			t.State = StateRunning
 			return t
@@ -80,10 +80,21 @@ func (s *Scheduler) Remove(t *TCB) {
 	q := s.ready[t.Prio]
 	for i, x := range q {
 		if x == t {
-			s.ready[t.Prio] = append(append([]*TCB{}, q[:i]...), q[i+1:]...)
+			s.ready[t.Prio] = dequeueAt(q, i)
 			return
 		}
 	}
+}
+
+// dequeueAt removes q[i] in place, preserving FIFO order and the queue's
+// capacity: dequeue/enqueue is the per-timeslice hot path, and rebuilding
+// the slice on every PickNext made the scheduler the simulator's top
+// allocator. The vacated tail slot is cleared so the queue does not
+// retain a dead TCB.
+func dequeueAt(q []*TCB, i int) []*TCB {
+	copy(q[i:], q[i+1:])
+	q[len(q)-1] = nil
+	return q[:len(q)-1]
 }
 
 // RunnableCount returns the number of queued threads (tests).

@@ -34,6 +34,11 @@ const (
 type SharedRegion struct {
 	frames []memory.PFN
 	base   uint64
+	// lineCache memoises Lines: the frame list is fixed at boot, so the
+	// prefetch set only depends on the line size, and rebuilding it on
+	// every domain switch was one of the simulator's top allocators.
+	lineCache     []uint64
+	lineCacheSize int
 }
 
 func newSharedRegion(m *hw.Machine) (*SharedRegion, error) {
@@ -61,12 +66,18 @@ func (r *SharedRegion) addr(off uint64) uint64 {
 func (r *SharedRegion) Size() int { return sharedSize }
 
 // Lines returns every cache-line address of the region for the given
-// line size: the deterministic prefetch set of switch step 9.
+// line size: the deterministic prefetch set of switch step 9. The result
+// is cached (the frame list never changes after boot); callers must not
+// mutate it.
 func (r *SharedRegion) Lines(lineSize int) []uint64 {
-	var out []uint64
+	if r.lineCache != nil && r.lineCacheSize == lineSize {
+		return r.lineCache
+	}
+	out := make([]uint64, 0, (sharedSize+lineSize-1)/lineSize)
 	for off := uint64(0); off < sharedSize; off += uint64(lineSize) {
 		out = append(out, r.addr(off))
 	}
+	r.lineCache, r.lineCacheSize = out, lineSize
 	return out
 }
 

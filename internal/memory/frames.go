@@ -61,6 +61,21 @@ func NewFrameAllocator(base PFN, count, numColours int) *FrameAllocator {
 		total:      count,
 		allocated:  make([]uint64, (count+63)/64),
 	}
+	// Carve every colour's free list out of one backing array, each
+	// subslice capped at its colour's share so an append past it (frames
+	// freed beyond the initial population) reallocates that list alone.
+	// Growing the lists with bare append allocated log-many blocks per
+	// colour on every boot and snapshot fork.
+	counts := make([]int, numColours)
+	for i := 0; i < count; i++ {
+		counts[ColourOf(base+PFN(i), numColours)]++
+	}
+	backing := make([]PFN, count)
+	off := 0
+	for c := 0; c < numColours; c++ {
+		a.free[c] = backing[off : off : off+counts[c]]
+		off += counts[c]
+	}
 	// Push in reverse so allocation order is ascending.
 	for i := count - 1; i >= 0; i-- {
 		f := base + PFN(i)

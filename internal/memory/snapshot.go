@@ -21,18 +21,27 @@ func EncodePFNs(w *enc.Writer, fs []PFN) {
 }
 
 func DecodePFNs(r *enc.Reader) []PFN {
+	return decodePFNsInto(r, nil)
+}
+
+// decodePFNsInto decodes a PFN list into dst's backing storage,
+// allocating only when the list outgrows dst's capacity. An empty list
+// decodes to dst[:0] (length is what the allocator semantics observe;
+// keeping the backing lets a forked machine reuse the free lists its
+// constructor carved).
+func decodePFNsInto(r *enc.Reader, dst []PFN) []PFN {
 	n := int(r.U64())
-	if r.Err() != nil || n == 0 {
-		return nil
+	if r.Err() != nil || n <= 0 || n > r.Remaining() {
+		return dst[:0]
 	}
-	if n < 0 || n > r.Remaining() {
-		return nil
+	if cap(dst) < n {
+		dst = make([]PFN, n)
 	}
-	out := make([]PFN, n)
-	for i := range out {
-		out[i] = PFN(r.U64())
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = PFN(r.U64())
 	}
-	return out
+	return dst
 }
 
 // EncodeState appends the allocator's mutable state to w.
@@ -60,7 +69,10 @@ func (a *FrameAllocator) DecodeState(r *enc.Reader) error {
 			base, total, colours, a.base, a.total, a.numColours)
 	}
 	for c := range a.free {
-		a.free[c] = DecodePFNs(r)
+		// Reuse each colour's existing backing: the constructor carved
+		// every list at its colour's full share, and a decoded list can
+		// never exceed it (a colour has only so many frames).
+		a.free[c] = decodePFNsInto(r, a.free[c][:0])
 	}
 	bm := r.U64s()
 	if err := r.Err(); err != nil {

@@ -37,6 +37,11 @@ type Dataset struct {
 	memoSlot   map[int]int // input symbol -> index into memoInputs
 	memoIdx    [][]int     // sample indices per distinct input
 	memoGroups [][]float64 // outputs per distinct input, sample order
+
+	// Backing arrays the memo's per-class slices are carved from, reused
+	// across rebuilds.
+	memoIdxBack    []int
+	memoGroupsBack []float64
 }
 
 // Add records one observation.
@@ -45,8 +50,33 @@ func (d *Dataset) Add(input int, output float64) {
 	d.outputs = append(d.outputs, output)
 }
 
+// Reserve pre-sizes the dataset for at least n samples, so receivers
+// that know their sample target up front collect without reallocating.
+func (d *Dataset) Reserve(n int) {
+	if cap(d.inputs) < n {
+		inputs := make([]int, len(d.inputs), n)
+		copy(inputs, d.inputs)
+		d.inputs = inputs
+	}
+	if cap(d.outputs) < n {
+		outputs := make([]float64, len(d.outputs), n)
+		copy(outputs, d.outputs)
+		d.outputs = outputs
+	}
+}
+
 // N returns the number of samples.
 func (d *Dataset) N() int { return len(d.inputs) }
+
+// Clone returns an independent copy of the dataset's samples. The copy
+// shares nothing — not even the lazy grouping memo — so memoized
+// datasets can be handed to concurrent consumers safely.
+func (d *Dataset) Clone() *Dataset {
+	return &Dataset{
+		inputs:  append([]int(nil), d.inputs...),
+		outputs: append([]float64(nil), d.outputs...),
+	}
+}
 
 // Sample is one (input symbol, output measurement) observation in
 // collection order — the unit incremental consumers (the session API's
@@ -100,8 +130,35 @@ func (d *Dataset) refreshGroups() {
 		d.memoSlot[in] = i
 	}
 	k := len(d.memoInputs)
-	d.memoIdx = make([][]int, k)
-	d.memoGroups = make([][]float64, k)
+	// Count each class's samples, then carve the per-class slices out of
+	// two reusable backing arrays; growing every class with bare append
+	// reallocated the whole memo on each rebuild.
+	counts := make([]int, k)
+	for _, in := range d.inputs {
+		counts[d.memoSlot[in]]++
+	}
+	n := len(d.inputs)
+	if cap(d.memoIdx) < k {
+		d.memoIdx = make([][]int, k)
+	}
+	if cap(d.memoGroups) < k {
+		d.memoGroups = make([][]float64, k)
+	}
+	d.memoIdx = d.memoIdx[:k]
+	d.memoGroups = d.memoGroups[:k]
+	if cap(d.memoIdxBack) < n {
+		d.memoIdxBack = make([]int, n)
+	}
+	if cap(d.memoGroupsBack) < n {
+		d.memoGroupsBack = make([]float64, n)
+	}
+	ib, gb := d.memoIdxBack[:n], d.memoGroupsBack[:n]
+	off := 0
+	for s := 0; s < k; s++ {
+		d.memoIdx[s] = ib[off : off : off+counts[s]]
+		d.memoGroups[s] = gb[off : off : off+counts[s]]
+		off += counts[s]
+	}
 	for i, in := range d.inputs {
 		s := d.memoSlot[in]
 		d.memoIdx[s] = append(d.memoIdx[s], i)

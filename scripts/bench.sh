@@ -18,6 +18,13 @@
 #   BENCH_GATE      set to 0 to skip the regression gate (e.g. when the
 #                   previous snapshot came from different hardware)
 #   BENCH_GATE_PCT  regression threshold in percent (default 15)
+#   BENCH_GATE_METRICS
+#                   space-separated metrics the gate prices (default
+#                   "ns_op b_op allocs_op"; CI uses "b_op allocs_op" —
+#                   allocation counts are hardware-independent, ns/op
+#                   against a snapshot from other hardware is noise).
+#                   A benchmark whose baseline is allocation-free fails
+#                   the gate on ANY new allocation, threshold aside.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -84,8 +91,8 @@ if [ -n "$prev" ]; then
 
 	if [ "${BENCH_GATE:-1}" != "0" ]; then
 		echo ""
-		echo "regression gate vs $prev (threshold ${BENCH_GATE_PCT:-15}%):"
-		awk -F'"' -v pct="${BENCH_GATE_PCT:-15}" '
+		echo "regression gate vs $prev (threshold ${BENCH_GATE_PCT:-15}%, metrics ${BENCH_GATE_METRICS:-ns_op b_op allocs_op}):"
+		awk -F'"' -v pct="${BENCH_GATE_PCT:-15}" -v metrics="${BENCH_GATE_METRICS:-ns_op b_op allocs_op}" '
 		function metric(line, key,   v) {
 			v = line
 			if (!sub(".*\"" key "\": ", "", v)) return ""
@@ -101,11 +108,21 @@ if [ -n "$prev" ]; then
 				next
 			}
 			if (!(name in ns)) next
-			split("ns_op b_op allocs_op", keys, " ")
-			old[1] = ns[name]; old[2] = b[name]; old[3] = al[name]
-			for (i = 1; i <= 3; i++) {
+			nk = split(metrics, keys, " ")
+			for (i = 1; i <= nk; i++) {
+				old[i] = keys[i] == "ns_op" ? ns[name] : keys[i] == "b_op" ? b[name] : al[name]
 				new = metric($0, keys[i])
-				if (old[i] + 0 <= 0 || new == "") continue
+				if (old[i] + 0 <= 0 || new == "") {
+					# A percentage gate cannot price a zero baseline, but
+					# a benchmark recorded allocation-free must stay so —
+					# that is the hot-path invariant the smoke run guards.
+					if (keys[i] != "ns_op" && old[i] != "" && old[i] + 0 == 0 && new + 0 > 0) {
+						printf "  FAIL %-50s %s %14s -> %14s  (was allocation-free)\n", \
+							name, keys[i], old[i], new
+						bad++
+					}
+					continue
+				}
 				delta = (new - old[i]) / old[i] * 100
 				# Sub-100ns/op benchmarks sit at timer resolution; a
 				# relative gate there measures noise, not regressions.
