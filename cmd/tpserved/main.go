@@ -12,6 +12,7 @@
 //	tpserved -retries 3 -breaker-threshold 5 -log   # hardened serving
 //	tpserved -fault-rate 0.3 -fault-panic-rate 0.2 -retries 8   # chaos drill
 //	tpserved -peers a:8080,b:8080,c:8080 -self a:8080 -store DIR   # one shard of three
+//	tpserved -peers ... -net-fault-drop 0.2 -net-fault-seed 3   # inter-shard network chaos
 //
 // API:
 //
@@ -37,6 +38,24 @@
 // the same seed. Sessions idle past -session-ttl are reaped; event
 // streams are bounded and lossy, so a stalled consumer never blocks
 // the simulation.
+//
+// With -store, sessions are also durable: each session's spec and
+// applied step sizes are journaled before the step is acknowledged,
+// and a restarted daemon lazily restores a journaled session by
+// forking a fresh machine and deterministically replaying the steps —
+// kill -9 mid-session then step-to-completion is byte-identical to
+// the uninterrupted run. Steps may carry a client sequence number
+// (?seq= or body "seq"): retrying the last applied sequence returns
+// the byte-identical cached response without advancing the session
+// (stale sequences answer 409 seq_conflict), which makes "retry the
+// last seq" the complete client recovery rule across restarts and
+// shard failovers. In a cluster, each session hashes to a sticky ring
+// owner, any shard forwards /v1/sessions/* to it (streams included),
+// the journal replicates synchronously to -replicas ring successors,
+// and a successor adopts the session by replay when the owner dies.
+// The -net-fault-* flags install a deterministic network fault
+// injector (drops, added latency, keyed by seed/src/dst/attempt) on
+// the inter-shard transport for partition drills.
 //
 // Artefact bodies are byte-identical to cmd/tpbench's output for the
 // same config. SIGINT/SIGTERM drain gracefully: the listener closes,
@@ -131,13 +150,18 @@ func main() {
 		faultLatency = flag.Float64("fault-latency-rate", 0, "injected added-latency probability in [0,1]")
 		faultDelay   = flag.Duration("fault-delay", 10*time.Millisecond, "latency added when a latency fault fires")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for the deterministic fault stream")
+
+		netDrop    = flag.Float64("net-fault-drop", 0, "injected peer-request drop probability in [0,1] (clustered chaos drills)")
+		netLatency = flag.Float64("net-fault-latency", 0, "injected peer-request added-latency probability in [0,1]")
+		netDelay   = flag.Duration("net-fault-delay", 5*time.Millisecond, "latency added when a network latency fault fires")
+		netSeed    = flag.Int64("net-fault-seed", 1, "seed for the deterministic network fault stream")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "tpserved: unexpected arguments %v\n", flag.Args())
 		os.Exit(2)
 	}
-	for _, rate := range []float64{*faultRate, *faultPanic, *faultLatency} {
+	for _, rate := range []float64{*faultRate, *faultPanic, *faultLatency, *netDrop, *netLatency} {
 		if rate < 0 || rate > 1 {
 			fmt.Fprintf(os.Stderr, "tpserved: fault rates must be in [0,1], got %v\n", rate)
 			os.Exit(2)
@@ -188,8 +212,7 @@ func main() {
 				members = append(members, p)
 			}
 		}
-		var err error
-		cl, err = cluster.New(cluster.Options{
+		copts := cluster.Options{
 			Self:             *self,
 			Peers:            members,
 			Replicas:         *replicas,
@@ -197,7 +220,22 @@ func main() {
 			ProbeInterval:    *probeEvery,
 			BreakerThreshold: 1,
 			Log:              log.New(os.Stderr, "tpserved: ", log.LstdFlags),
-		})
+		}
+		if *netDrop > 0 || *netLatency > 0 {
+			// Deterministic network chaos: every peer request this shard
+			// sends passes through the seed-driven injector — drops,
+			// added latency, and scripted partitions, keyed per
+			// (seed, src, dst, attempt) exactly like the driver faults.
+			copts.Client = &http.Client{Transport: fault.NewNet(*self, nil, fault.NetConfig{
+				Seed:  *netSeed,
+				Rates: fault.NetRates{Drop: *netDrop, Latency: *netLatency},
+				Delay: *netDelay,
+			})}
+			log.Printf("tpserved: NETWORK FAULT INJECTION enabled (drop=%.2f latency=%.2f seed=%d) — chaos drill, not production",
+				*netDrop, *netLatency, *netSeed)
+		}
+		var err error
+		cl, err = cluster.New(copts)
 		if err != nil {
 			log.Fatalf("tpserved: %v", err)
 		}
@@ -207,13 +245,27 @@ func main() {
 	}
 	var reg *session.Registry
 	if *maxSessions > 0 {
-		reg = session.NewRegistry(session.Options{
+		sopts := session.Options{
 			MaxSessions: *maxSessions,
 			IdleTTL:     *sessionTTL,
-		})
+		}
+		if st != nil {
+			// Durable session journal: every acknowledged step is
+			// journaled through the store, so a killed daemon restores
+			// its sessions on restart by deterministic replay.
+			sopts.Journal = st
+		}
+		if cl != nil {
+			// Clustered: session IDs carry this shard's address (ring-
+			// unique minting) and journals replicate synchronously to the
+			// ring successors that would adopt the session on failover.
+			sopts.IDPrefix = session.IDPrefixForAddr(*self)
+			sopts.Replicate = cl.ReplicateSync
+		}
+		reg = session.NewRegistry(sopts)
 		opts.Sessions = reg
-		log.Printf("tpserved: interactive sessions enabled (max %d, idle TTL %v)",
-			*maxSessions, *sessionTTL)
+		log.Printf("tpserved: interactive sessions enabled (max %d, idle TTL %v, journaled=%v)",
+			*maxSessions, *sessionTTL, st != nil)
 	}
 	if *faultRate > 0 || *faultPanic > 0 || *faultLatency > 0 {
 		injector := fault.Wrap(nil, fault.Config{

@@ -21,6 +21,11 @@ const (
 	// HeaderOriginCache, present only on forwarded responses, reports
 	// how the owning shard served the request the forward resolved to.
 	HeaderOriginCache = "X-Cluster-Origin-Cache"
+	// HeaderSessionID carries the pre-minted session ID on a forwarded
+	// session create: the receiving shard minted the ID (its routing is
+	// what makes the ring owner sticky), the owning shard registers the
+	// session under it. Internal; clients neither set nor read it.
+	HeaderSessionID = "X-TP-Session-ID"
 )
 
 // Cache-source values carried by HeaderCache / HeaderOriginCache.
@@ -67,6 +72,10 @@ const (
 	// CodeSubscriberLimit: the session already has its maximum number
 	// of stream subscribers (429).
 	CodeSubscriberLimit ErrorCode = "subscriber_limit"
+	// CodeSeqConflict: the step's sequence number was already
+	// superseded — an out-of-order retry that must not re-advance the
+	// session (409).
+	CodeSeqConflict ErrorCode = "seq_conflict"
 )
 
 // Error is the payload of the v1 error envelope:

@@ -145,6 +145,8 @@ type Cluster struct {
 
 	forwards      atomic.Uint64
 	forwardShared atomic.Uint64
+	proxied       atomic.Uint64 // whole-request proxies (session forwarding)
+	proxyFails    atomic.Uint64
 	failovers     atomic.Uint64
 	received      atomic.Uint64 // inbound forwarded requests served
 	replReceived  atomic.Uint64 // inbound replication PUTs accepted
@@ -537,8 +539,10 @@ type Stats struct {
 	Self            string             `json:"self"`
 	Members         []string           `json:"members"`
 	Replicas        int                `json:"replicas"`
-	Forwards        uint64             `json:"forwards"`          // outbound read-through attempts
-	ForwardShared   uint64             `json:"forward_shared"`    // collapsed by the forwarding-hop singleflight
+	Forwards        uint64             `json:"forwards"`       // outbound read-through attempts
+	ForwardShared   uint64             `json:"forward_shared"` // collapsed by the forwarding-hop singleflight
+	Proxied         uint64             `json:"proxied"`        // outbound whole-request proxies (sessions)
+	ProxyFails      uint64             `json:"proxy_fails"`
 	Failovers       uint64             `json:"failovers"`         // requests routed or degraded around a down shard
 	ReceivedForward uint64             `json:"received_forwards"` // inbound forwarded requests served
 	ReceivedReplica uint64             `json:"received_replicas"` // inbound replication PUTs accepted
@@ -557,6 +561,8 @@ func (c *Cluster) Stats() Stats {
 		Replicas:        c.opts.Replicas,
 		Forwards:        c.forwards.Load(),
 		ForwardShared:   c.forwardShared.Load(),
+		Proxied:         c.proxied.Load(),
+		ProxyFails:      c.proxyFails.Load(),
 		Failovers:       c.failovers.Load(),
 		ReceivedForward: c.received.Load(),
 		ReceivedReplica: c.replReceived.Load(),

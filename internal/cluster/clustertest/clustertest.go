@@ -22,6 +22,7 @@ import (
 	"timeprotection/internal/cluster"
 	"timeprotection/internal/fault"
 	"timeprotection/internal/service"
+	"timeprotection/internal/session"
 	"timeprotection/internal/store"
 )
 
@@ -44,6 +45,18 @@ type Options struct {
 	// a given artefact sees the same fault sequence wherever the ring
 	// places it).
 	Fault *fault.Config
+	// Net, when non-nil, routes every node's peer traffic through a
+	// deterministic network fault injector with this shared config —
+	// drops, added latency and scripted one-way partitions, keyed per
+	// (seed, src, dst, attempt). The per-node injector is exposed as
+	// Node.Net so chaos tests can partition specific links mid-flight.
+	Net *fault.NetConfig
+	// Sessions, when non-nil, gives every node an interactive session
+	// registry from this option template; per node the harness fills in
+	// the journal (the node's store, when StoreRoot is set), synchronous
+	// ring replication, and an address-derived ID prefix — the full
+	// session-failover substrate.
+	Sessions *session.Options
 	// ClusterConfigure, when non-nil, adjusts one node's cluster options
 	// before construction (the loop-guard test uses it to build
 	// deliberately disagreeing rings).
@@ -55,10 +68,12 @@ type Options struct {
 
 // Node is one in-process shard.
 type Node struct {
-	Addr    string
-	Service *service.Server
-	Cluster *cluster.Cluster
-	Store   *store.Store
+	Addr     string
+	Service  *service.Server
+	Cluster  *cluster.Cluster
+	Store    *store.Store
+	Sessions *session.Registry
+	Net      *fault.Net
 
 	srv    *http.Server
 	ln     net.Listener
@@ -101,6 +116,11 @@ func Start(t testing.TB, opts Options) *TestCluster {
 			BreakerCooldown:  time.Minute, // probes close it; tests stay deterministic
 			ForwardTimeout:   30 * time.Second,
 		}
+		var netInj *fault.Net
+		if opts.Net != nil {
+			netInj = fault.NewNet(addrs[i], nil, *opts.Net)
+			copts.Client = &http.Client{Transport: netInj}
+		}
 		if opts.ClusterConfigure != nil {
 			opts.ClusterConfigure(i, &copts)
 		}
@@ -118,6 +138,17 @@ func Start(t testing.TB, opts Options) *TestCluster {
 			}
 			so.Store = st
 		}
+		var reg *session.Registry
+		if opts.Sessions != nil {
+			sopts := *opts.Sessions
+			if st != nil {
+				sopts.Journal = st
+			}
+			sopts.IDPrefix = session.IDPrefixForAddr(addrs[i])
+			sopts.Replicate = cl.ReplicateSync
+			reg = session.NewRegistry(sopts)
+			so.Sessions = reg
+		}
 		if opts.Fault != nil {
 			so.Runner = fault.Wrap(so.Runner, *opts.Fault).Run
 		}
@@ -126,12 +157,14 @@ func Start(t testing.TB, opts Options) *TestCluster {
 		}
 		svc := service.New(so)
 		node := &Node{
-			Addr:    addrs[i],
-			Service: svc,
-			Cluster: cl,
-			Store:   st,
-			ln:      listeners[i],
-			srv:     &http.Server{Handler: svc.Handler()},
+			Addr:     addrs[i],
+			Service:  svc,
+			Cluster:  cl,
+			Store:    st,
+			Sessions: reg,
+			Net:      netInj,
+			ln:       listeners[i],
+			srv:      &http.Server{Handler: svc.Handler()},
 		}
 		tc.Nodes = append(tc.Nodes, node)
 		go node.srv.Serve(listeners[i])
@@ -141,14 +174,18 @@ func Start(t testing.TB, opts Options) *TestCluster {
 }
 
 // closeAll drains every surviving node: HTTP first, then service (pool
-// + write-behind flushes), then cluster (replication pushes), then the
-// store — the same order cmd/tpserved uses on SIGTERM.
+// + write-behind flushes), then sessions, then cluster (replication
+// pushes), then the store — the same order cmd/tpserved uses on
+// SIGTERM.
 func (tc *TestCluster) closeAll() {
 	for _, n := range tc.Nodes {
 		if !n.killed {
 			n.srv.Close()
 		}
 		n.Service.Close()
+		if n.Sessions != nil {
+			n.Sessions.Close()
+		}
 		n.Cluster.Close()
 		if n.Store != nil {
 			n.Store.Close()

@@ -1,0 +1,257 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"timeprotection/internal/api"
+	"timeprotection/internal/cluster/clustertest"
+	"timeprotection/internal/fault"
+	"timeprotection/internal/service"
+	"timeprotection/internal/session"
+)
+
+// postStep issues a sequenced step via node i and returns the raw
+// response. Transport errors fail the test — the cluster surface must
+// stay available through every drill phase.
+func postStep(t *testing.T, tc *clustertest.TestCluster, i int, id string, rounds int, seq uint64) (*http.Response, []byte) {
+	t.Helper()
+	url := tc.URL(i, fmt.Sprintf("/v1/sessions/%s/step?rounds=%d&seq=%d", id, rounds, seq))
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatalf("step seq %d via node%d: %v", seq, i, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("step seq %d via node%d: read: %v", seq, i, err)
+	}
+	return resp, buf.Bytes()
+}
+
+// sessionSpec is the drill's attack; small enough to step quickly,
+// large enough that the kill lands mid-session.
+const sessionSpec = `{"channel":"l1d","samples":24,"seed":7,"trace":"off"}`
+
+// oneShotSessionVerdict computes the reference verdict for sessionSpec
+// through a plain un-clustered registry — the byte-identity target for
+// every failover path.
+func oneShotSessionVerdict(t *testing.T) *session.Verdict {
+	t.Helper()
+	r := session.NewRegistry(session.Options{})
+	defer r.Close()
+	seed := int64(7)
+	s, err := r.Create(session.Spec{Channel: "l1d", Samples: 24, Seed: &seed, Trace: session.TraceOff})
+	if err != nil {
+		t.Fatalf("reference Create: %v", err)
+	}
+	for {
+		res, err := s.Step(1000)
+		if err != nil {
+			t.Fatalf("reference Step: %v", err)
+		}
+		if res.Done {
+			return res.Verdict
+		}
+	}
+}
+
+// TestSessionFailoverDrill is the tentpole's cluster chaos drill: a
+// session is created through a non-owner shard (minted ID, forwarded
+// create), stepped with client sequence numbers through the ring owner
+// while its journal replicates synchronously to both successors; the
+// owner is then partitioned away mid-session and finally killed. The
+// client's retried step must return the byte-identical response without
+// double-advancing the session, a survivor must adopt the session from
+// the replicated journal by deterministic replay, and the completed
+// session's verdict must equal the uninterrupted one-shot run's.
+func TestSessionFailoverDrill(t *testing.T) {
+	tc := clustertest.Start(t, clustertest.Options{
+		Nodes:     3,
+		Replicas:  2, // both survivors hold the journal whoever dies
+		StoreRoot: t.TempDir(),
+		Service:   service.Options{Parallel: 2},
+		Sessions:  &session.Options{},
+		Net:       &fault.NetConfig{Seed: 3}, // zero rates: partitions are scripted, not drawn
+	})
+
+	// Create via node 0. The receiving shard mints the ID and routes the
+	// create to the ring owner, so whichever shard answers, the session
+	// lives on the owner.
+	resp, err := http.Post(tc.URL(0, "/v1/sessions"), "application/json", strings.NewReader(sessionSpec))
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	var st session.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("create body: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || st.ID == "" {
+		t.Fatalf("create = %d %+v", resp.StatusCode, st)
+	}
+	id := st.ID
+
+	owner := tc.OwnerIndex(session.Key(id))
+	fwd := (owner + 1) % 3 // a surviving non-owner the client talks to
+	t.Logf("session %s owned by node%d, client dials node%d", id, owner, fwd)
+
+	// The minted ID carries the minting shard's address prefix —
+	// cluster-unique by construction.
+	if !strings.HasPrefix(id, session.IDPrefixForAddr(tc.Nodes[0].Addr)+"-") {
+		t.Errorf("ID %q does not carry node0's prefix %q", id, session.IDPrefixForAddr(tc.Nodes[0].Addr))
+	}
+
+	// Phase 1: sequenced steps through the non-owner — each forwards to
+	// the owner and replicates the journal before acking.
+	var results []session.StepResult
+	var bodies [][]byte
+	var seq uint64
+	step := func(i int, rounds int, s uint64) session.StepResult {
+		t.Helper()
+		resp, raw := postStep(t, tc, i, id, rounds, s)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step seq %d = %d: %s", s, resp.StatusCode, raw)
+		}
+		var res session.StepResult
+		if err := json.Unmarshal(raw, &res); err != nil {
+			t.Fatalf("step seq %d body: %v", s, err)
+		}
+		results = append(results, res)
+		bodies = append(bodies, raw)
+		return res
+	}
+	for _, rounds := range []int{1, 3, 2} {
+		seq++
+		step(fwd, rounds, seq)
+	}
+
+	// A retried step against the live owner: same bytes, no advance.
+	lastBody := bodies[len(bodies)-1]
+	if resp, raw := postStep(t, tc, fwd, id, 2, seq); resp.StatusCode != 200 || !bytes.Equal(raw, lastBody) {
+		t.Fatalf("live retry seq %d: status %d, body diverged:\n%s\nvs\n%s", seq, resp.StatusCode, raw, lastBody)
+	}
+
+	// Phase 2: one-way partition fwd -> owner. The client's next step
+	// cannot reach the owner; the shard degrades to a local journal
+	// restore (deterministic replay of seqs 1..3) and the retried
+	// sequence returns the byte-identical cached result — applied
+	// exactly once, even though a second live copy of the session just
+	// materialized.
+	tc.Nodes[fwd].Net.Partition(tc.Nodes[owner].Addr)
+	resp2, raw2 := postStep(t, tc, fwd, id, 2, seq)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("partitioned retry seq %d = %d: %s", seq, resp2.StatusCode, raw2)
+	}
+	if !bytes.Equal(raw2, lastBody) {
+		t.Fatalf("partitioned retry diverged:\n%s\nvs\n%s", raw2, lastBody)
+	}
+	if got := tc.Nodes[fwd].Sessions.Stats().Restored; got != 1 {
+		t.Fatalf("node%d restored %d sessions during the partition, want 1 (lazy journal adoption)", fwd, got)
+	}
+	if p := tc.Nodes[fwd].Net.Stats().Partitioned; p == 0 {
+		t.Fatal("partition installed but no request was blocked")
+	}
+	tc.Nodes[fwd].Net.HealAll()
+
+	// Phase 3: the owner dies for real. Survivors learn via a probe
+	// sweep; the client keeps talking to the same non-owner shard.
+	tc.Kill(owner)
+	for _, i := range []int{fwd, 3 - owner - fwd} {
+		tc.Nodes[i].Cluster.Probe()
+	}
+
+	// A stale sequence is a conflict wherever it lands after failover.
+	if resp, raw := postStep(t, tc, fwd, id, 1, 1); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("stale seq after failover = %d: %s", resp.StatusCode, raw)
+	} else if e, ok := api.DecodeError(raw); !ok || e.Code != api.CodeSeqConflict {
+		t.Fatalf("stale seq envelope = %+v", e)
+	}
+
+	// With the owner dead, the ring elects the next alive successor as
+	// the session's new home; the client-facing shard forwards there (or
+	// serves locally if it is the adopter itself).
+	adopter := tc.Index(tc.Nodes[fwd].Cluster.Route(session.Key(id)))
+	if adopter == owner {
+		t.Fatalf("ring still routes session to dead node%d after probe", owner)
+	}
+
+	// Phase 4: resume to completion through the survivor. The adopted
+	// session continues from the replicated journal; fresh sequences
+	// advance exactly once each.
+	var last session.StepResult
+	for i := 0; ; i++ {
+		if i > 100 {
+			t.Fatal("session never completed after failover")
+		}
+		seq++
+		last = step(fwd, 5, seq)
+		if last.Done {
+			break
+		}
+	}
+
+	// The collected sample stream across create/partition/kill/failover
+	// is gapless and ordered — replay reconstructed the exact dataset.
+	total := 0
+	for _, res := range results {
+		for _, sm := range res.Samples {
+			if sm.Index != total {
+				t.Fatalf("sample index %d at position %d: the stream has a gap or overlap", sm.Index, total)
+			}
+			total++
+		}
+	}
+	if total != 24 {
+		t.Fatalf("collected %d samples, want 24", total)
+	}
+
+	// Verdict byte-identity with the uninterrupted one-shot run.
+	want := oneShotSessionVerdict(t)
+	if last.Verdict == nil {
+		t.Fatal("no verdict on the completing step")
+	}
+	if *last.Verdict != *want {
+		t.Fatalf("failover verdict %+v, one-shot %+v", last.Verdict, want)
+	}
+
+	// The drill's books: the client-facing shard restored once during
+	// the partition, and — when the ring elected the other survivor as
+	// the new home — that adopter restored once more from its replica.
+	// Both restores replay the same journal, so neither can diverge; no
+	// journal write was lost anywhere.
+	wantRestored := uint64(1)
+	if adopter != fwd {
+		wantRestored = 2
+	}
+	var restored, journalErrors uint64
+	for i, n := range tc.Nodes {
+		if i == owner {
+			continue
+		}
+		s := n.Sessions.Stats()
+		restored += s.Restored
+		journalErrors += s.JournalErrors
+	}
+	if restored != wantRestored {
+		t.Errorf("survivors restored %d sessions, want %d", restored, wantRestored)
+	}
+	if journalErrors != 0 {
+		t.Errorf("survivors counted %d journal errors", journalErrors)
+	}
+
+	// The completed session lives on the adopter the ring elected.
+	found := false
+	for _, s := range tc.Nodes[adopter].Sessions.List() {
+		if s.ID == id && s.Status().Done {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("completed session %s not live on adopting node%d", id, adopter)
+	}
+}

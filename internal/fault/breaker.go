@@ -125,6 +125,26 @@ func (b *Breaker) Open(key string) bool {
 	return e != nil && !e.openUntil.IsZero() && b.now().Before(e.openUntil)
 }
 
+// OpenFor reports how much cooldown remains on the key's open circuit
+// (zero when closed or past cooldown) — the service derives Retry-After
+// hints from it, so fast-failed clients come back when the half-open
+// probe is actually possible rather than guessing.
+func (b *Breaker) OpenFor(key string) time.Duration {
+	if b.threshold <= 0 {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	e := b.entries[key]
+	if e == nil || e.openUntil.IsZero() {
+		return 0
+	}
+	if d := e.openUntil.Sub(b.now()); d > 0 {
+		return d
+	}
+	return 0
+}
+
 // Stats snapshots the counters.
 func (b *Breaker) Stats() BreakerStats {
 	st := BreakerStats{

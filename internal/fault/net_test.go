@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// okTransport is a clean base transport answering every request with
+// 200 without touching the network.
+type okTransport struct{}
+
+func (okTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	return &http.Response{
+		StatusCode: 200,
+		Body:       io.NopCloser(strings.NewReader("ok")),
+		Header:     http.Header{},
+	}, nil
+}
+
+func netReq(t *testing.T, dst string) *http.Request {
+	t.Helper()
+	req, err := http.NewRequest("GET", "http://"+dst+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+// netSchedule records the fate of the first n src->dst attempts.
+func netSchedule(t *testing.T, n *Net, dst string, count int) []bool {
+	t.Helper()
+	out := make([]bool, count)
+	for i := range out {
+		resp, err := n.RoundTrip(netReq(t, dst))
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("attempt %d: unexpected error %v", i, err)
+			}
+			out[i] = true // dropped
+			continue
+		}
+		resp.Body.Close()
+	}
+	return out
+}
+
+// TestNetDeterministicSchedule: the drop schedule is a pure function of
+// (seed, src, dst, attempt) — two injectors with the same parameters
+// agree attempt for attempt, a different seed or source diverges, and
+// distinct destinations draw independent streams.
+func TestNetDeterministicSchedule(t *testing.T) {
+	cfg := NetConfig{Seed: 7, Rates: NetRates{Drop: 0.4}}
+	a := netSchedule(t, NewNet("10.0.0.1:80", okTransport{}, cfg), "10.0.0.2:80", 200)
+	b := netSchedule(t, NewNet("10.0.0.1:80", okTransport{}, cfg), "10.0.0.2:80", 200)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same (seed,src,dst): schedules diverge at attempt %d", i)
+		}
+	}
+	drops := 0
+	for _, d := range a {
+		if d {
+			drops++
+		}
+	}
+	if drops < 40 || drops > 160 {
+		t.Errorf("drop rate 0.4 over 200 attempts injected %d drops", drops)
+	}
+
+	differs := func(name string, other []bool) {
+		t.Helper()
+		same := true
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("%s produced an identical 200-attempt schedule", name)
+		}
+	}
+	differs("different seed", netSchedule(t,
+		NewNet("10.0.0.1:80", okTransport{}, NetConfig{Seed: 8, Rates: NetRates{Drop: 0.4}}), "10.0.0.2:80", 200))
+	differs("different source", netSchedule(t,
+		NewNet("10.0.0.9:80", okTransport{}, cfg), "10.0.0.2:80", 200))
+	differs("different destination", netSchedule(t,
+		NewNet("10.0.0.1:80", okTransport{}, cfg), "10.0.0.3:80", 200))
+}
+
+// TestNetScheduleIndependentOfInterleaving: concurrent traffic to other
+// destinations must not perturb a destination's schedule — attempts are
+// counted per destination, so goroutine interleaving cannot reorder a
+// link's decision stream.
+func TestNetScheduleIndependentOfInterleaving(t *testing.T) {
+	cfg := NetConfig{Seed: 7, Rates: NetRates{Drop: 0.4}}
+	quiet := netSchedule(t, NewNet("10.0.0.1:80", okTransport{}, cfg), "10.0.0.2:80", 100)
+
+	n := NewNet("10.0.0.1:80", okTransport{}, cfg)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if resp, err := n.RoundTrip(netReq(t, "10.0.0.5:80")); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	noisy := netSchedule(t, n, "10.0.0.2:80", 100)
+	close(stop)
+	wg.Wait()
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("cross-destination traffic perturbed the schedule at attempt %d", i)
+		}
+	}
+}
+
+// TestNetPartitionOneWay: an installed partition black-holes src->dst
+// only — the reverse injector keeps delivering — and Heal restores the
+// link.
+func TestNetPartitionOneWay(t *testing.T) {
+	ab := NewNet("a:1", okTransport{}, NetConfig{})
+	ba := NewNet("b:1", okTransport{}, NetConfig{})
+	ab.Partition("b:1")
+
+	if _, err := ab.RoundTrip(netReq(t, "b:1")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned a->b = %v, want ErrInjected", err)
+	}
+	if resp, err := ba.RoundTrip(netReq(t, "a:1")); err != nil {
+		t.Fatalf("b->a blocked by a's one-way partition: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+	if s := ab.Stats(); s.Partitioned != 1 {
+		t.Errorf("a's stats = %+v, want 1 partitioned", s)
+	}
+
+	ab.Heal("b:1")
+	if resp, err := ab.RoundTrip(netReq(t, "b:1")); err != nil {
+		t.Fatalf("healed a->b: %v", err)
+	} else {
+		resp.Body.Close()
+	}
+}
+
+// TestNetDefaultTransportEndToEnd: the injector fronts a real HTTP
+// round trip (zero rates inject nothing).
+func TestNetDefaultTransportEndToEnd(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "pong")
+	}))
+	defer srv.Close()
+	n := NewNet("client", nil, NetConfig{})
+	resp, err := n.RoundTrip(netReq(t, strings.TrimPrefix(srv.URL, "http://")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("body = %q", body)
+	}
+	if s := n.Stats(); s.Requests != 1 || s.Drops != 0 || s.Partitioned != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}

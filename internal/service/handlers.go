@@ -277,6 +277,7 @@ func (s *Server) handleArtefact(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	body, src, origin, err := s.result(ctx, entry, false, isForwarded(r))
 	if err != nil {
+		s.setRetryAfter(w, err, artefactName(entry))
 		s.fail(w, httpStatusFor(err), codeFor(err), entry.JobName(), "%s: %v", entry.JobName(), err)
 		return
 	}
@@ -344,6 +345,7 @@ func (s *Server) handleClusterEntry(w http.ResponseWriter, r *http.Request) {
 			w.Write(body)
 			return
 		}
+		s.setRetryAfter(w, err, artefactName(entry))
 		s.fail(w, httpStatusFor(err), codeFor(err), entry.JobName(), "%s: %v", entry.JobName(), err)
 		return
 	}
@@ -369,7 +371,10 @@ func (s *Server) handleClusterReplica(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if st := s.opts.Store; st != nil {
-		if err := st.Put(key, body); err != nil {
+		// Update, not Put: session journals replicate repeatedly under
+		// one key, and Update's journal-first commit keeps the previous
+		// version recoverable if a crash lands mid-replace.
+		if err := st.Update(key, body); err != nil {
 			s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "replica put: %v", err)
 			return
 		}

@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -501,5 +502,22 @@ func codeFor(err error) api.ErrorCode {
 		return api.CodeTimeout
 	default:
 		return api.CodeInternal
+	}
+}
+
+// setRetryAfter stamps a Retry-After hint on fast-fail 503s, matching
+// the hint the shedding path already sends: an open circuit reports its
+// remaining cooldown (rounded up to whole seconds, never below 1), a
+// draining pool a flat second. Other errors leave the header unset.
+func (s *Server) setRetryAfter(w http.ResponseWriter, err error, art string) {
+	switch {
+	case errors.Is(err, ErrCircuitOpen):
+		secs := int64((s.breaker.OpenFor(art) + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	case errors.Is(err, ErrPoolClosed):
+		w.Header().Set("Retry-After", "1")
 	}
 }

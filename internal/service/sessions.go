@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -30,7 +31,10 @@ func (s *Server) sessionFail(w http.ResponseWriter, id string, err error) {
 		s.fail(w, http.StatusConflict, api.CodeSessionClosed, id, "%v", err)
 	case errors.Is(err, session.ErrSubscriberLimit):
 		s.fail(w, http.StatusTooManyRequests, api.CodeSubscriberLimit, id, "%v", err)
+	case errors.Is(err, session.ErrStaleSeq):
+		s.fail(w, http.StatusConflict, api.CodeSeqConflict, id, "%v", err)
 	case errors.Is(err, session.ErrRegistryClosed):
+		w.Header().Set("Retry-After", "1")
 		s.fail(w, http.StatusServiceUnavailable, api.CodeUnavailable, id, "%v", err)
 	default:
 		s.fail(w, http.StatusInternalServerError, api.CodeInternal, id, "%v", err)
@@ -48,7 +52,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // sessionFor resolves {id} or answers the 404 envelope. A deleted or
 // reaped session is no longer in the registry, so stepping or streaming
 // it after DELETE is a plain not_found — the 409 session_closed code is
-// reserved for the race where the session closes mid-operation.
+// reserved for the race where the session closes mid-operation. Get
+// falls through to the journal, so a session this daemon has never
+// held in memory (pre-restart, or adopted from a dead peer's replica)
+// resolves here too: the registry restores it by deterministic replay.
 func (s *Server) sessionFor(w http.ResponseWriter, r *http.Request) (*session.Session, bool) {
 	id := r.PathValue("id")
 	sess, ok := s.opts.Sessions.Get(id)
@@ -59,10 +66,42 @@ func (s *Server) sessionFor(w http.ResponseWriter, r *http.Request) (*session.Se
 	return sess, true
 }
 
+// forwardSession proxies a per-session request to the shard that owns
+// the session's ring key and reports whether the response was handled
+// remotely. Sessions are sticky: the journal key hashes the session ID,
+// so every step/stream/get/delete for one session lands on one owner
+// (whose in-memory machine is the live truth), and journal replication
+// places copies exactly on the successors that the ring elects when
+// that owner dies. A forward failure marks the peer down and degrades
+// to local handling — lazy journal restore makes the local path
+// meaningful, which is precisely the failover the chaos drill proves.
+func (s *Server) forwardSession(w http.ResponseWriter, r *http.Request, id string) bool {
+	cl := s.opts.Cluster
+	if cl == nil || isForwarded(r) {
+		return false
+	}
+	target := cl.Route(session.Key(id))
+	if target == cl.Self() {
+		return false
+	}
+	if err := cl.ForwardRequest(w, r, target); err != nil {
+		cl.Failover()
+		return false
+	}
+	return true
+}
+
 // handleSessionCreate boots a session from a session.Spec body and
 // answers 201 with the normalized Status document and a Location
 // header. Creation is admission-controlled by the registry, not the
 // request pool: a full registry answers 429 session_limit immediately.
+//
+// Clustered, the receiving shard mints the ID first and routes on it:
+// the session's home is decided by the ring, not by which shard the
+// client happened to dial. The spec is re-sent to the owner with the
+// pre-minted ID in api.HeaderSessionID; if the owner is unreachable the
+// shard creates locally under that same ID and lets journal
+// replication catch the owner up.
 func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	var spec session.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -71,9 +110,31 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "bad session spec: %v", err)
 		return
 	}
-	sess, err := s.opts.Sessions.Create(spec)
+	var id string
+	if isForwarded(r) {
+		id = r.Header.Get(api.HeaderSessionID) // minted by the routing shard
+	} else if cl := s.opts.Cluster; cl != nil {
+		id = s.opts.Sessions.NewID()
+		if target := cl.Route(session.Key(id)); target != cl.Self() {
+			body, err := json.Marshal(spec)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, api.CodeBadRequest, "", "bad session spec: %v", err)
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.Header.Set(api.HeaderSessionID, id)
+			r.Header.Set("Content-Type", "application/json")
+			if err := cl.ForwardRequest(w, r, target); err == nil {
+				return
+			}
+			cl.Failover()
+			// Owner unreachable: create here under the minted ID — the
+			// replicated journal lets the ring's next owner adopt it.
+		}
+	}
+	sess, err := s.opts.Sessions.CreateWithID(id, spec)
 	if err != nil {
-		s.sessionFail(w, "", err)
+		s.sessionFail(w, id, err)
 		return
 	}
 	w.Header().Set("Location", "/v1/sessions/"+sess.ID)
@@ -89,6 +150,9 @@ func (s *Server) handleSessionList(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	if s.forwardSession(w, r, r.PathValue("id")) {
+		return
+	}
 	sess, ok := s.sessionFor(w, r)
 	if !ok {
 		return
@@ -96,13 +160,19 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, sess.Status())
 }
 
-// stepRequest is the POST .../step body; ?rounds= works too (the body
-// wins when both are present).
+// stepRequest is the POST .../step body; ?rounds= and ?seq= work too
+// (the body wins when both are present). Pointer fields distinguish
+// "absent" from "present and zero": rounds must be a positive round
+// count when given at all, and seq 0 is reserved for unsequenced steps.
 type stepRequest struct {
-	Rounds int `json:"rounds"`
+	Rounds *int    `json:"rounds"`
+	Seq    *uint64 `json:"seq"`
 }
 
 func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
+	if s.forwardSession(w, r, r.PathValue("id")) {
+		return
+	}
 	sess, ok := s.sessionFor(w, r)
 	if !ok {
 		return
@@ -110,11 +180,21 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 	rounds := 1
 	if v := r.URL.Query().Get("rounds"); v != "" {
 		n, err := strconv.Atoi(v)
-		if err != nil || n < 1 {
-			s.fail(w, http.StatusBadRequest, api.CodeBadRequest, sess.ID, "bad rounds %q", v)
+		if err != nil || n < 1 || n > session.MaxStepRounds {
+			s.fail(w, http.StatusBadRequest, api.CodeBadRequest, sess.ID,
+				"bad rounds %q (want 1..%d)", v, session.MaxStepRounds)
 			return
 		}
 		rounds = n
+	}
+	var seq uint64
+	if v := r.URL.Query().Get("seq"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, api.CodeBadRequest, sess.ID, "bad seq %q", v)
+			return
+		}
+		seq = n
 	}
 	var req stepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
@@ -124,13 +204,20 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 	case err != nil:
 		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, sess.ID, "bad step request: %v", err)
 		return
-	case req.Rounds < 0:
-		s.fail(w, http.StatusBadRequest, api.CodeBadRequest, sess.ID, "bad rounds %d", req.Rounds)
-		return
-	case req.Rounds > 0:
-		rounds = req.Rounds
+	default:
+		if req.Rounds != nil {
+			if *req.Rounds < 1 || *req.Rounds > session.MaxStepRounds {
+				s.fail(w, http.StatusBadRequest, api.CodeBadRequest, sess.ID,
+					"bad rounds %d (want 1..%d)", *req.Rounds, session.MaxStepRounds)
+				return
+			}
+			rounds = *req.Rounds
+		}
+		if req.Seq != nil {
+			seq = *req.Seq
+		}
 	}
-	res, err := sess.Step(rounds)
+	res, err := sess.StepSeq(rounds, seq)
 	if err != nil {
 		s.sessionFail(w, sess.ID, err)
 		return
@@ -140,6 +227,9 @@ func (s *Server) handleSessionStep(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if s.forwardSession(w, r, id) {
+		return
+	}
 	if !s.opts.Sessions.Delete(id) {
 		s.fail(w, http.StatusNotFound, api.CodeNotFound, id, "unknown session %q", id)
 		return
@@ -167,6 +257,9 @@ func writeSSE(w io.Writer, typ string, data any) error {
 // and lossy: a stalled consumer drops events (counted in /metricz and
 // the status document) and never blocks the simulation.
 func (s *Server) handleSessionStream(w http.ResponseWriter, r *http.Request) {
+	if s.forwardSession(w, r, r.PathValue("id")) {
+		return
+	}
 	sess, ok := s.sessionFor(w, r)
 	if !ok {
 		return

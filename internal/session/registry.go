@@ -47,6 +47,9 @@ var (
 	ErrSubscriberLimit = errors.New("session: subscriber limit reached")
 	// ErrRegistryClosed rejects creation during shutdown (unavailable).
 	ErrRegistryClosed = errors.New("session: registry closed")
+	// ErrStaleSeq rejects a step whose sequence number was already
+	// superseded (seq_conflict) — see Session.StepSeq.
+	ErrStaleSeq = errors.New("session: stale step sequence")
 )
 
 // Options configures a Registry. The zero value selects serving
@@ -76,6 +79,23 @@ type Options struct {
 	TraceRing int
 	// Clock is the time source (default time.Now; tests inject).
 	Clock func() time.Time
+
+	// Journal, when non-nil, makes sessions durable: each session's
+	// Spec and step log are journalled through it (synchronously, per
+	// step) and restored lazily on first access after a restart —
+	// deterministic replay of the step log reconstructs the session
+	// byte-for-byte. nil = sessions die with the process (the
+	// pre-journal behaviour).
+	Journal Journal
+	// Replicate, when non-nil, pushes every journal write (and
+	// tombstone) to the cluster's ring successors, so a session
+	// survives not just restarts but the permanent death of its owner.
+	// Called synchronously after the local journal write.
+	Replicate func(key string, body []byte)
+	// IDPrefix namespaces minted session IDs ("<prefix>-<n>", default
+	// "s"). Clustered daemons set a per-shard prefix
+	// (IDPrefixForAddr) so IDs are unique across the ring.
+	IDPrefix string
 }
 
 func (o Options) withDefaults() Options {
@@ -111,6 +131,9 @@ func (o Options) withDefaults() Options {
 	if o.Clock == nil {
 		o.Clock = time.Now
 	}
+	if o.IDPrefix == "" {
+		o.IDPrefix = "s"
+	}
 	return o
 }
 
@@ -118,32 +141,37 @@ func (o Options) withDefaults() Options {
 type Registry struct {
 	opts Options
 
-	mu       sync.Mutex
-	sessions map[string]*Session
-	seq      uint64
-	shut     bool
+	mu        sync.Mutex
+	sessions  map[string]*Session
+	restoring map[string]chan struct{} // per-ID restore singleflight
+	seq       uint64                   // ID mint counter
+	ord       uint64                   // insertion ordinal (List order)
+	shut      bool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	created   atomic.Uint64
-	closed    atomic.Uint64 // deleted by clients or shut down
-	reaped    atomic.Uint64 // closed by the idle reaper
-	rejected  atomic.Uint64 // creations refused at the cap
-	steps     atomic.Uint64
-	samples   atomic.Uint64
-	published atomic.Uint64
-	dropped   atomic.Uint64
-	subsGauge atomic.Int64
+	created       atomic.Uint64
+	restored      atomic.Uint64 // journal restores (each also counts in created)
+	closed        atomic.Uint64 // deleted by clients or shut down
+	reaped        atomic.Uint64 // closed by the idle reaper
+	rejected      atomic.Uint64 // creations refused at the cap
+	steps         atomic.Uint64
+	samples       atomic.Uint64
+	published     atomic.Uint64
+	dropped       atomic.Uint64
+	subsGauge     atomic.Int64
+	journalErrors atomic.Uint64
 }
 
 // NewRegistry builds a registry and starts its idle reaper. Call Close
 // to stop the reaper and end every live session.
 func NewRegistry(opts Options) *Registry {
 	r := &Registry{
-		opts:     opts.withDefaults(),
-		sessions: map[string]*Session{},
-		stop:     make(chan struct{}),
+		opts:      opts.withDefaults(),
+		sessions:  map[string]*Session{},
+		restoring: map[string]chan struct{}{},
+		stop:      make(chan struct{}),
 	}
 	r.wg.Add(1)
 	go r.reapLoop()
@@ -151,10 +179,23 @@ func NewRegistry(opts Options) *Registry {
 }
 
 // Create validates the spec, boots (snapshot-forks) the session's
-// machine, and registers the session. The MaxSessions cap is checked
-// before the boot (fast rejection under load) and again at insertion
-// (the authoritative check).
+// machine, and registers the session under a freshly minted ID. The
+// MaxSessions cap is checked before the boot (fast rejection under
+// load) and again at insertion (the authoritative check).
 func (r *Registry) Create(spec Spec) (*Session, error) {
+	return r.CreateWithID("", spec)
+}
+
+// CreateWithID is Create with a caller-chosen ID — the clustered create
+// path mints the ID on the receiving shard (NewID) and forwards it to
+// the ring owner, so the ID the client sees routes back to the same
+// owner forever. An empty ID mints one locally.
+func (r *Registry) CreateWithID(id string, spec Spec) (*Session, error) {
+	if id != "" {
+		if err := validID(id); err != nil {
+			return nil, err
+		}
+	}
 	spec, err := spec.withDefaults()
 	if err != nil {
 		return nil, err
@@ -166,11 +207,37 @@ func (r *Registry) Create(spec Spec) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := r.insert(s); err != nil {
+	if err := r.insert(s, id); err != nil {
 		return nil, err
 	}
 	r.created.Add(1)
+	s.mu.Lock()
+	s.journalLocked()
+	s.mu.Unlock()
 	return s, nil
+}
+
+// NewID mints an unused session ID ("<prefix>-<n>"), skipping IDs that
+// are live or still journaled from a previous run — reusing one would
+// overwrite a restorable session's journal.
+func (r *Registry) NewID() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.newIDLocked()
+}
+
+func (r *Registry) newIDLocked() string {
+	for {
+		r.seq++
+		id := fmt.Sprintf("%s-%d", r.opts.IDPrefix, r.seq)
+		if _, live := r.sessions[id]; live {
+			continue
+		}
+		if r.journalLive(id) {
+			continue
+		}
+		return id
+	}
 }
 
 // admit fast-fails creation at the cap or during shutdown, before the
@@ -188,7 +255,7 @@ func (r *Registry) admit() error {
 	return nil
 }
 
-func (r *Registry) insert(s *Session) error {
+func (r *Registry) insert(s *Session, id string) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.shut {
@@ -198,19 +265,30 @@ func (r *Registry) insert(s *Session) error {
 		r.rejected.Add(1)
 		return ErrLimit
 	}
-	r.seq++
-	s.ID = fmt.Sprintf("s-%d", r.seq)
-	s.seq = r.seq
-	r.sessions[s.ID] = s
+	if id == "" {
+		id = r.newIDLocked()
+	} else if _, taken := r.sessions[id]; taken {
+		return fmt.Errorf("%w: session id %q already live", ErrBadSpec, id)
+	}
+	r.ord++
+	s.ID = id
+	s.seq = r.ord
+	r.sessions[id] = s
 	return nil
 }
 
-// Get returns a live session by ID.
+// Get returns a live session by ID. With a Journal configured, a miss
+// falls through to the restore path: journaled sessions from a previous
+// run (or a dead ring peer, via replication) come back transparently on
+// first access.
 func (r *Registry) Get(id string) (*Session, bool) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	s, ok := r.sessions[id]
-	return s, ok
+	r.mu.Unlock()
+	if ok {
+		return s, true
+	}
+	return r.restore(id)
 }
 
 // List returns the live sessions in creation order.
@@ -225,7 +303,10 @@ func (r *Registry) List() []*Session {
 	return out
 }
 
-// Delete removes and closes a session; false when the ID is unknown.
+// Delete removes and closes a session, tombstoning its journal so it
+// stays dead across restarts and failovers; false when the ID is
+// unknown. A journaled-but-never-restored session (post-restart, before
+// first access) deletes cleanly too: the tombstone is the deletion.
 func (r *Registry) Delete(id string) bool {
 	r.mu.Lock()
 	s, ok := r.sessions[id]
@@ -234,11 +315,16 @@ func (r *Registry) Delete(id string) bool {
 	}
 	r.mu.Unlock()
 	if !ok {
+		if validID(id) == nil && r.journalLive(id) {
+			r.tombstone(id, CloseDeleted)
+			return true
+		}
 		return false
 	}
 	if s.close(CloseDeleted) {
 		r.closed.Add(1)
 	}
+	r.tombstone(id, CloseDeleted)
 	return true
 }
 
@@ -297,6 +383,7 @@ func (r *Registry) reapIdle() {
 		if s.close(CloseIdle) {
 			r.reaped.Add(1)
 		}
+		r.tombstone(s.ID, CloseIdle)
 	}
 }
 
@@ -307,9 +394,13 @@ func (r *Registry) ReapNow() { r.reapIdle() }
 
 // Stats is the /metricz sessions section. The lifecycle counters
 // balance: Created == Active + Closed + Reaped in any settled snapshot.
+// Restored attributes how many of Created came through the journal
+// restore path (each restore counts in both), so the restore path is
+// visible without breaking the balance.
 type Stats struct {
 	Active          int    `json:"active"`
 	Created         uint64 `json:"created"`
+	Restored        uint64 `json:"restored"`
 	Closed          uint64 `json:"closed"`
 	Reaped          uint64 `json:"reaped"`
 	Rejected        uint64 `json:"rejected"`
@@ -318,6 +409,7 @@ type Stats struct {
 	EventsPublished uint64 `json:"events_published"`
 	EventsDropped   uint64 `json:"events_dropped"`
 	Subscribers     int64  `json:"subscribers"`
+	JournalErrors   uint64 `json:"journal_errors"`
 	MaxSessions     int    `json:"max_sessions"`
 }
 
@@ -329,6 +421,7 @@ func (r *Registry) Stats() Stats {
 	return Stats{
 		Active:          active,
 		Created:         r.created.Load(),
+		Restored:        r.restored.Load(),
 		Closed:          r.closed.Load(),
 		Reaped:          r.reaped.Load(),
 		Rejected:        r.rejected.Load(),
@@ -337,6 +430,7 @@ func (r *Registry) Stats() Stats {
 		EventsPublished: r.published.Load(),
 		EventsDropped:   r.dropped.Load(),
 		Subscribers:     r.subsGauge.Load(),
+		JournalErrors:   r.journalErrors.Load(),
 		MaxSessions:     r.opts.MaxSessions,
 	}
 }

@@ -226,8 +226,12 @@ type Session struct {
 	createdAt time.Time
 	lastTouch atomic.Int64 // unix nanos; created or stepped
 
-	mu sync.Mutex // serializes stepping and the verdict computation
-	x  *channel.Interactive
+	mu         sync.Mutex // serializes stepping and the verdict computation
+	x          *channel.Interactive
+	stepLog    []StepRec   // every applied step, in order (the replay codec)
+	lastSeq    uint64      // highest client sequence number applied
+	lastResult *StepResult // the last sequenced step's result, for idempotent retries
+	replaying  bool        // restore replay in progress: suppress journal writes
 
 	closed    atomic.Bool
 	collected atomic.Int64
@@ -299,12 +303,27 @@ func (s *Session) touch() { s.lastTouch.Store(s.reg.opts.Clock().UnixNano()) }
 // down.
 func (s *Session) Closed() bool { return s.closed.Load() }
 
+// MaxStepRounds bounds the rounds one step request may ask for — large
+// enough for any real attack increment, small enough that a garbage or
+// hostile value cannot pin the simulation (and, journaled, would not
+// poison every future replay of the session).
+const MaxStepRounds = 1 << 20
+
 // Step advances the attack by up to n samples (minimum 1), returning
 // the probe latencies it collected and the running MI estimate. On the
 // step that completes the target it computes, caches and publishes the
 // final verdict — the same mi.Analyze(ds, rand(seed)) the one-shot
 // tpattack report path runs.
-func (s *Session) Step(n int) (*StepResult, error) {
+func (s *Session) Step(n int) (*StepResult, error) { return s.StepSeq(n, 0) }
+
+// StepSeq is Step with a client-supplied sequence number making retries
+// idempotent: sequence numbers must strictly increase per session, a
+// retry of the last applied sequence returns its cached result without
+// advancing the simulation, and an older sequence fails with
+// ErrStaleSeq. Sequence 0 opts out (plain Step). The guarantee holds
+// across crashes and failovers because the sequence rides the journal:
+// whoever replays the log knows exactly which steps already happened.
+func (s *Session) StepSeq(n int, seq uint64) (*StepResult, error) {
 	if n < 1 {
 		n = 1
 	}
@@ -315,6 +334,15 @@ func (s *Session) Step(n int) (*StepResult, error) {
 	defer s.mu.Unlock()
 	if s.closed.Load() {
 		return nil, ErrClosed
+	}
+	if seq != 0 {
+		if seq == s.lastSeq && s.lastResult != nil {
+			s.touch()
+			return s.lastResult, nil
+		}
+		if seq <= s.lastSeq {
+			return nil, fmt.Errorf("%w: seq %d already applied (last %d)", ErrStaleSeq, seq, s.lastSeq)
+		}
 	}
 	s.touch()
 	ds := s.x.Dataset()
@@ -355,6 +383,12 @@ func (s *Session) Step(n int) (*StepResult, error) {
 		s.publish(Event{Type: "done", Data: v})
 	}
 	res.Verdict = s.verdict.Load()
+	s.stepLog = append(s.stepLog, StepRec{Seq: seq, Rounds: n})
+	if seq != 0 {
+		s.lastSeq = seq
+		s.lastResult = res
+	}
+	s.journalLocked()
 	return res, nil
 }
 

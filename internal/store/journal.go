@@ -60,11 +60,15 @@ func (s *Store) recover() error {
 		}
 	}
 
-	s.replayJournal()
+	prev, updated := s.replayJournal()
 
 	// Verify each replayed entry's object file. Full checksums are
 	// deferred to read time (hashing the whole store at boot would
-	// stall restarts); a size check catches truncation now.
+	// stall restarts); a size check catches truncation now. Updated
+	// keys are the exception: a crash between an Update's journal
+	// append and its rename leaves the *previous* version's bytes on
+	// disk, so they are byte-verified now, falling back to the record
+	// the last update replaced.
 	for key, el := range s.index {
 		e := el.Value.(*entry)
 		fi, err := os.Lstat(s.objectPath(key))
@@ -73,6 +77,22 @@ func (s *Store) recover() error {
 			s.stats.Missing++
 			s.dropLocked(key)
 			s.logf("recovery: journalled entry %s has no file", key)
+		case updated[key]:
+			data, rerr := os.ReadFile(s.objectPath(key))
+			p, hasPrev := prev[key]
+			switch {
+			case rerr == nil && int64(len(data)) == e.size && bodySum(data) == e.sum:
+				// The last update committed fully.
+			case rerr == nil && hasPrev && int64(len(data)) == p.Size && bodySum(data) == p.Sum:
+				s.bytes += p.Size - e.size
+				e.sum, e.size = p.Sum, p.Size
+				s.stats.Reverted++
+				s.logf("recovery: entry %s rolled back to previous journalled version", key)
+			default:
+				s.stats.Corrupt++
+				s.quarantineLocked(key, "corrupt")
+				s.dropLocked(key)
+			}
 		case fi.Size() != e.size:
 			s.stats.Truncated++
 			s.quarantineLocked(key, "truncated")
@@ -99,15 +119,20 @@ func (s *Store) recover() error {
 	return nil
 }
 
-// replayJournal applies journal records in order. Parsing stops at the
-// first malformed line: the only crash-consistent damage is a torn
+// replayJournal applies journal records in order, returning per-key
+// update history: prev maps each updated key to the record its latest
+// put replaced, updated marks keys that saw more than one live put
+// (i.e. Update traffic — recover byte-verifies those). Parsing stops at
+// the first malformed line: the only crash-consistent damage is a torn
 // tail, and anything after a mid-file corruption is untrustworthy —
 // records beyond it are dropped (their object files then quarantine as
 // orphans).
-func (s *Store) replayJournal() {
+func (s *Store) replayJournal() (prev map[string]record, updated map[string]bool) {
+	prev = make(map[string]record)
+	updated = make(map[string]bool)
 	data, err := os.ReadFile(s.journalPath())
 	if err != nil {
-		return
+		return prev, updated
 	}
 	lines := bytes.Split(data, []byte("\n"))
 	for i, line := range lines {
@@ -122,12 +147,24 @@ func (s *Store) replayJournal() {
 				}
 			}
 			s.logf("recovery: journal torn at line %d (%d records dropped)", i+1, s.stats.TornRecords)
-			return
+			return prev, updated
 		}
 		switch r.Op {
 		case opPut:
 			if el, ok := s.index[r.Key]; ok {
-				// Duplicate put (journal race no-op): refresh recency.
+				e := el.Value.(*entry)
+				if e.sum == r.Sum && e.size == r.Size {
+					// Duplicate put (journal race no-op): refresh
+					// recency only.
+					s.ll.MoveToFront(el)
+					continue
+				}
+				// A later put with a different checksum is an Update:
+				// adopt it, remembering what it replaced.
+				prev[r.Key] = record{Op: opPut, Key: r.Key, Sum: e.sum, Size: e.size}
+				updated[r.Key] = true
+				s.bytes += r.Size - e.size
+				e.sum, e.size = r.Sum, r.Size
 				s.ll.MoveToFront(el)
 				continue
 			}
@@ -140,8 +177,11 @@ func (s *Store) replayJournal() {
 			}
 		case opDel:
 			s.dropLocked(r.Key)
+			delete(prev, r.Key)
+			delete(updated, r.Key)
 		}
 	}
+	return prev, updated
 }
 
 // compactJournal atomically rewrites the journal as one put record per

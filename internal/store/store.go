@@ -82,6 +82,7 @@ type Stats struct {
 	Hits      uint64 `json:"hits"`
 	Misses    uint64 `json:"misses"`
 	Puts      uint64 `json:"puts"`
+	Updates   uint64 `json:"updates"`
 	PutErrors uint64 `json:"put_errors"`
 
 	// Corrupt counts read-time checksum or read failures; Truncated
@@ -94,6 +95,12 @@ type Stats struct {
 	Orphans     uint64 `json:"orphans"`
 	Missing     uint64 `json:"missing"`
 	Quarantined uint64 `json:"quarantined"`
+
+	// Reverted counts updated entries rolled back at Open to the
+	// previous journalled version (a crash landed between an Update's
+	// journal append and its rename — the file still holds the prior
+	// bytes, which remain perfectly good).
+	Reverted uint64 `json:"reverted"`
 
 	// TornRecords counts journal lines dropped at Open (a crash mid
 	// journal append tears at most the tail).
@@ -117,6 +124,38 @@ type Store struct {
 	bytes   int64
 	tmpSeq  uint64
 	stats   Stats
+
+	klMu   sync.Mutex
+	klocks map[string]*keyLock
+}
+
+// keyLock serializes Updates per key: a later Update's rename must
+// never land before an earlier one's journal record, or the journal
+// would vouch for bytes the object no longer holds.
+type keyLock struct {
+	mu   sync.Mutex
+	refs int
+}
+
+func (s *Store) lockKey(key string) func() {
+	s.klMu.Lock()
+	kl := s.klocks[key]
+	if kl == nil {
+		kl = &keyLock{}
+		s.klocks[key] = kl
+	}
+	kl.refs++
+	s.klMu.Unlock()
+	kl.mu.Lock()
+	return func() {
+		kl.mu.Unlock()
+		s.klMu.Lock()
+		kl.refs--
+		if kl.refs == 0 {
+			delete(s.klocks, key)
+		}
+		s.klMu.Unlock()
+	}
 }
 
 type entry struct {
@@ -140,10 +179,11 @@ func Key(canonical string) string {
 // counted and (where a file exists) quarantined.
 func Open(dir string, opts Options) (*Store, error) {
 	s := &Store{
-		dir:   dir,
-		opts:  opts,
-		ll:    list.New(),
-		index: make(map[string]*list.Element),
+		dir:    dir,
+		opts:   opts,
+		ll:     list.New(),
+		index:  make(map[string]*list.Element),
+		klocks: make(map[string]*keyLock),
 	}
 	for _, d := range []string{dir, s.path("objects"), s.path("tmp"), s.path("quarantine")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
@@ -296,6 +336,94 @@ func (s *Store) Put(key string, body []byte) error {
 	s.index[key] = s.ll.PushFront(e)
 	s.bytes += e.size
 	s.stats.Puts++
+	s.gcLocked()
+	return nil
+}
+
+// Update durably replaces the body stored under a key. Put is for
+// content-addressed entries whose bytes never legally change; Update is
+// for the few keys that evolve in place — session journals ("sess-*"
+// keys). An update whose body already matches the stored checksum only
+// refreshes recency.
+//
+// The commit order inverts Put's: the fsynced journal record (new
+// checksum) lands *before* the staged write + rename. Updates replace
+// bytes the journal already vouches for, so the dangerous crash window
+// is between the two steps — with this order the object file then still
+// matches the *previous* record, and recover rolls the entry back to it
+// (see Reverted). The key degrades to its last durable version, never
+// to quarantine. A non-crash commit failure re-journals the previous
+// version immediately so journal and file agree again.
+func (s *Store) Update(key string, body []byte) error {
+	if err := validKey(key); err != nil {
+		return err
+	}
+	unlock := s.lockKey(key)
+	defer unlock()
+
+	sum := bodySum(body)
+	size := int64(len(body))
+
+	s.mu.Lock()
+	if s.journal == nil {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	var prev *entry
+	if el, ok := s.index[key]; ok {
+		e := el.Value.(*entry)
+		if e.sum == sum {
+			s.ll.MoveToFront(el)
+			s.appendLocked(record{Op: opAccess, Key: key}, false)
+			s.stats.Updates++
+			s.mu.Unlock()
+			return nil
+		}
+		prev = &entry{key: key, sum: e.sum, size: e.size}
+	}
+	if err := s.appendLocked(record{Op: opPut, Key: key, Sum: sum, Size: size}, true); err != nil {
+		s.stats.PutErrors++
+		s.mu.Unlock()
+		return fmt.Errorf("store: journal %s: %w", key, err)
+	}
+	s.tmpSeq++
+	tmp := filepath.Join(s.path("tmp"), fmt.Sprintf("%s.%d", key, s.tmpSeq))
+	s.mu.Unlock()
+
+	err := s.writeFile(tmp, body)
+	if err == nil {
+		err = s.rename(tmp, s.objectPath(key))
+	}
+	if err == nil {
+		err = syncDir(filepath.Dir(s.objectPath(key)))
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.stats.PutErrors++
+		if s.journal != nil {
+			if prev != nil {
+				s.appendLocked(record{Op: opPut, Key: key, Sum: prev.sum, Size: prev.size}, true)
+			} else {
+				s.appendLocked(record{Op: opDel, Key: key}, false)
+			}
+		}
+		s.mu.Unlock()
+		s.logf("update %s failed: %v", key, err)
+		return fmt.Errorf("store: update %s: %w", key, err)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.index[key]; ok {
+		e := el.Value.(*entry)
+		s.bytes += size - e.size
+		e.sum, e.size = sum, size
+		s.ll.MoveToFront(el)
+	} else {
+		s.index[key] = s.ll.PushFront(&entry{key: key, sum: sum, size: size})
+		s.bytes += size
+	}
+	s.stats.Updates++
 	s.gcLocked()
 	return nil
 }

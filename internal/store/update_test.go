@@ -1,0 +1,153 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func mustUpdate(t *testing.T, s *Store, key string, body []byte) {
+	t.Helper()
+	if err := s.Update(key, body); err != nil {
+		t.Fatalf("Update(%s): %v", key, err)
+	}
+}
+
+// TestUpdateReplacesInPlace: Update overwrites a key's bytes (Put would
+// treat the second write as a duplicate no-op), reads serve the new
+// version, and the byte ledger follows the size change.
+func TestUpdateReplacesInPlace(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	key := "sess-s-1"
+	mustUpdate(t, s, key, []byte("v1"))
+	mustUpdate(t, s, key, []byte("version two, longer"))
+	got, ok := s.Get(key)
+	if !ok || string(got) != "version two, longer" {
+		t.Fatalf("Get after update = %q, %v", got, ok)
+	}
+	st := s.Stats()
+	if st.Updates != 2 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 2 updates over 1 entry", st)
+	}
+	if st.Bytes != int64(len("version two, longer")) {
+		t.Errorf("bytes = %d, want the latest version's size", st.Bytes)
+	}
+	// Same-bytes update is a recency refresh, not a rewrite.
+	mustUpdate(t, s, key, []byte("version two, longer"))
+	if st := s.Stats(); st.Updates != 3 || st.Bytes != int64(len("version two, longer")) {
+		t.Errorf("no-op update stats = %+v", st)
+	}
+}
+
+// TestUpdateSurvivesReopen: the latest updated version is what a
+// restart recovers — the journal's duplicate put records adopt the new
+// sum instead of keeping the first one (which would quarantine every
+// updated entry as a mismatch).
+func TestUpdateSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	key := "sess-s-1"
+	for i := 0; i < 4; i++ {
+		mustUpdate(t, s, key, []byte(fmt.Sprintf("journal generation %d", i)))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	got, ok := s2.Get(key)
+	if !ok || string(got) != "journal generation 3" {
+		t.Fatalf("after reopen = %q, %v (stats %+v)", got, ok, s2.Stats())
+	}
+	if st := s2.Stats(); st.Quarantined != 0 || st.Reverted != 0 || st.Entries != 1 {
+		t.Errorf("clean reopen stats = %+v", st)
+	}
+}
+
+// TestUpdateCrashRollsBack: Update journals the new version before the
+// file replace, so a crash between the two leaves the file holding the
+// previous version. Recovery must roll the entry back to that version
+// (counted as Reverted), not quarantine it — for a session journal,
+// rollback loses one unacknowledged step; quarantine would lose the
+// whole session.
+func TestUpdateCrashRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	key := "sess-s-1"
+	mustUpdate(t, s, key, []byte("durable old version"))
+	mustUpdate(t, s, key, []byte("new version"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash point: the journal holds the new version's
+	// record but the object file still holds the old bytes (the rename
+	// never landed).
+	if err := os.WriteFile(filepath.Join(dir, "objects", key), []byte("durable old version"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	got, ok := s2.Get(key)
+	if !ok || string(got) != "durable old version" {
+		t.Fatalf("after torn update = %q, %v (stats %+v)", got, ok, s2.Stats())
+	}
+	st := s2.Stats()
+	if st.Reverted != 1 || st.Quarantined != 0 || st.Entries != 1 {
+		t.Errorf("rollback stats = %+v, want 1 reverted, 0 quarantined", st)
+	}
+	// The rolled-back slot is writable again.
+	mustUpdate(t, s2, key, []byte("post-crash version"))
+	if got, ok := s2.Get(key); !ok || string(got) != "post-crash version" {
+		t.Fatalf("post-rollback update = %q, %v", got, ok)
+	}
+}
+
+// TestUpdateTornToGarbageQuarantines: if the file matches neither the
+// latest journal record nor the previous one, recovery cannot pick a
+// version and must quarantine as before.
+func TestUpdateTornToGarbageQuarantines(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	key := "sess-s-1"
+	mustUpdate(t, s, key, []byte("durable old version"))
+	mustUpdate(t, s, key, []byte("new version"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "objects", key), []byte("garbage bytes!!!"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2 := mustOpen(t, dir, Options{})
+	if body, ok := s2.Get(key); ok {
+		t.Fatalf("garbage entry served: %q", body)
+	}
+	if st := s2.Stats(); st.Quarantined != 1 || st.Reverted != 0 {
+		t.Errorf("garbage stats = %+v, want quarantine", st)
+	}
+}
+
+// TestUpdateConcurrentKeys: concurrent updates across keys and repeated
+// updates of one key race-free; the per-key lock serializes same-key
+// commits so journal order always matches rename order.
+func TestUpdateConcurrentKeys(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		g := g
+		go func() {
+			key := fmt.Sprintf("sess-s-%d", g%4) // 2 goroutines per key
+			var err error
+			for i := 0; i < 20 && err == nil; i++ {
+				err = s.Update(key, []byte(fmt.Sprintf("g%d i%d", g, i)))
+			}
+			done <- err
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatalf("concurrent update: %v", err)
+		}
+	}
+	if st := s.Stats(); st.Entries != 4 || st.PutErrors != 0 {
+		t.Errorf("stats = %+v, want 4 entries, no errors", st)
+	}
+}

@@ -68,6 +68,14 @@ func (s *Session) Done() bool { return s.x.Done() }
 // Target returns the configured sample target.
 func (s *Session) Target() int { return s.x.Target() }
 
+// Collected returns how many samples the session has gathered so far —
+// with Target, the caller's progress gauge. Because stepping is
+// deterministic, Collected is also a resume point: replaying the same
+// step sizes against a fresh session reproduces the identical dataset,
+// which is how tpserved restores journaled daemon sessions after a
+// crash (see /v1/sessions in docs/api.md).
+func (s *Session) Collected() int { return s.x.Dataset().N() }
+
 // Dataset returns the live dataset collected so far; pass it to
 // Analyze or Estimate at any point.
 func (s *Session) Dataset() *Dataset { return s.x.Dataset() }
